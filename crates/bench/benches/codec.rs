@@ -1,0 +1,44 @@
+//! Criterion: encode / serialize / parse / decode speed (E2–E5's
+//! engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exclusion_lb::{construct, decode, encode, ConstructConfig, Encoding, Permutation};
+use exclusion_mutex::DekkerTournament;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let n = 16;
+    let alg = DekkerTournament::new(n);
+    let pi = Permutation::reversed(n);
+    let built = construct(&alg, &pi, &ConstructConfig::default()).expect("construct");
+    let enc = encode(&built);
+    let (bytes, bits) = enc.to_bits();
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30);
+    group.bench_function("encode-16", |b| {
+        b.iter(|| black_box(encode(black_box(&built)).cells()));
+    });
+    group.bench_function("to-bits-16", |b| {
+        b.iter(|| black_box(black_box(&enc).to_bits().1));
+    });
+    group.bench_function("from-bits-16", |b| {
+        b.iter(|| {
+            black_box(
+                Encoding::from_bits(black_box(&bytes), bits, n)
+                    .expect("parse")
+                    .cells(),
+            )
+        });
+    });
+    group.bench_function("decode-16", |b| {
+        b.iter(|| black_box(decode(&alg, black_box(&enc)).expect("decode").len()));
+    });
+    group.bench_function("linearize-16", |b| {
+        b.iter(|| black_box(black_box(&built).linearize().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion: hardware lock acquisition cost, uncontended and under
+//! thread contention (E9's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exclusion_spin::harness::all_locks;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock-uncontended");
+    for lock in all_locks(1) {
+        group.bench_function(lock.name(), |b| {
+            b.iter(|| {
+                lock.lock(0);
+                black_box(());
+                lock.unlock(0);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let threads = 2usize;
+    let mut group = c.benchmark_group("lock-contended-2");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    for (i, lock) in all_locks(threads).into_iter().enumerate() {
+        group.bench_with_input(BenchmarkId::new(lock.name(), threads), &i, |b, &i| {
+            b.iter_custom(|iters| {
+                // Rebuild the lock each run so queue state starts clean.
+                let lock = &all_locks(threads)[i];
+                let per_thread = (iters as usize).div_ceil(threads);
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for tid in 0..threads {
+                        let lock = &lock;
+                        scope.spawn(move || {
+                            for _ in 0..per_thread {
+                                lock.lock(tid);
+                                black_box(());
+                                lock.unlock(tid);
+                            }
+                        });
+                    }
+                });
+                start.elapsed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

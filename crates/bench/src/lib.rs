@@ -1,0 +1,16 @@
+//! The experiment harness: every table of EXPERIMENTS.md is regenerated
+//! by a function in [`experiments`], and `cargo run -p exclusion-bench
+//! --bin tables` prints them all.
+//!
+//! The paper (a theory paper) has no numbered tables or figures; the
+//! experiments here are the executable counterparts of its theorems, as
+//! indexed in DESIGN.md §5. Each function returns a [`table::Table`] so
+//! the binary, the tests and EXPERIMENTS.md all see identical rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

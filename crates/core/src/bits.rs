@@ -1,0 +1,277 @@
+//! Bit-level serialization: a writer/reader pair and Elias-γ codes,
+//! giving the encoding step a concrete, self-delimiting binary format
+//! whose length in bits is what Theorem 6.2 bounds by O(C).
+
+use crate::error::DecodeError;
+
+/// Append-only bit buffer.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let (byte, off) = (self.len / 8, self.len % 8);
+        if off == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 1 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the `count` low bits of `value`, most significant first.
+    pub fn push_bits(&mut self, value: u64, count: u32) {
+        for i in (0..count).rev() {
+            self.push(value >> i & 1 == 1);
+        }
+    }
+
+    /// Appends the Elias-γ code of `value` (`value ≥ 1`): `⌊log₂ v⌋`
+    /// zeros, then `v` in binary. Costs `2⌊log₂ v⌋ + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn push_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "Elias gamma encodes positive integers");
+        let bits = 64 - value.leading_zeros();
+        for _ in 0..bits - 1 {
+            self.push(false);
+        }
+        self.push_bits(value, bits);
+    }
+
+    /// Number of bits written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits were written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying bytes (the final byte may be partially used).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the writer, returning `(bytes, bit_len)`.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<u8>, usize) {
+        (self.bytes, self.len)
+    }
+}
+
+/// Sequential bit reader over a byte buffer.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads `len` bits from `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], len: usize) -> Self {
+        BitReader { bytes, len, pos: 0 }
+    }
+
+    /// Current bit position.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether all bits have been consumed.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.len
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Malformed`] at end of stream.
+    pub fn read(&mut self) -> Result<bool, DecodeError> {
+        if self.pos >= self.len {
+            return Err(DecodeError::Malformed { bit: self.pos });
+        }
+        let (byte, off) = (self.pos / 8, self.pos % 8);
+        self.pos += 1;
+        Ok(self.bytes[byte] >> off & 1 == 1)
+    }
+
+    /// Reads `count` bits, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Malformed`] at end of stream.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = v << 1 | u64::from(self.read()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads an Elias-γ code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Malformed`] on truncated or over-long
+    /// codes.
+    pub fn read_gamma(&mut self) -> Result<u64, DecodeError> {
+        let mut zeros = 0u32;
+        while !self.read()? {
+            zeros += 1;
+            if zeros > 63 {
+                return Err(DecodeError::Malformed { bit: self.pos });
+            }
+        }
+        let rest = self.read_bits(zeros)?;
+        Ok(1 << zeros | rest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        for i in 0..100 {
+            w.push(i % 3 == 0);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        for i in 0..100 {
+            assert_eq!(r.read().unwrap(), i % 3 == 0);
+        }
+        assert!(r.at_end());
+        assert!(r.read().is_err());
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(0xDEAD, 16);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 4, 5, 17, 100, 1023, 1024, u32::MAX as u64];
+        for &v in &values {
+            w.push_gamma(v);
+        }
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        for &v in &values {
+            assert_eq!(r.read_gamma().unwrap(), v);
+        }
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn gamma_length_is_logarithmic() {
+        for (v, bits) in [(1u64, 1usize), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7)] {
+            let mut w = BitWriter::new();
+            w.push_gamma(v);
+            assert_eq!(w.len(), bits, "gamma({v})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_rejects_zero() {
+        BitWriter::new().push_gamma(0);
+    }
+
+    #[test]
+    fn truncated_gamma_is_malformed() {
+        let mut w = BitWriter::new();
+        w.push(false);
+        w.push(false);
+        let mut r = BitReader::new(w.as_bytes(), w.len());
+        assert!(r.read_gamma().is_err());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        let (bytes, len) = w.into_parts();
+        assert!(bytes.is_empty());
+        assert_eq!(len, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary interleavings of raw bits, fixed-width fields
+            /// and γ codes round-trip exactly.
+            #[test]
+            fn mixed_stream_roundtrip(
+                items in prop::collection::vec(
+                    prop_oneof![
+                        any::<bool>().prop_map(|b| (0u8, u64::from(b), 0u32)),
+                        (any::<u16>(), 1u32..=16).prop_map(|(v, w)| (1, u64::from(v) & ((1 << w) - 1), w)),
+                        (1u64..=u32::MAX as u64).prop_map(|v| (2, v, 0)),
+                    ],
+                    0..100,
+                )
+            ) {
+                let mut w = BitWriter::new();
+                for &(kind, v, width) in &items {
+                    match kind {
+                        0 => w.push(v == 1),
+                        1 => w.push_bits(v, width),
+                        _ => w.push_gamma(v),
+                    }
+                }
+                let mut r = BitReader::new(w.as_bytes(), w.len());
+                for &(kind, v, width) in &items {
+                    let got = match kind {
+                        0 => u64::from(r.read().unwrap()),
+                        1 => r.read_bits(width).unwrap(),
+                        _ => r.read_gamma().unwrap(),
+                    };
+                    prop_assert_eq!(got, v);
+                }
+                prop_assert!(r.at_end());
+            }
+
+            /// γ codes use exactly `2⌊log₂ v⌋ + 1` bits.
+            #[test]
+            fn gamma_length_formula(v in 1u64..=u64::from(u32::MAX)) {
+                let mut w = BitWriter::new();
+                w.push_gamma(v);
+                let log = 63 - v.leading_zeros() as usize;
+                prop_assert_eq!(w.len(), 2 * log + 1);
+            }
+        }
+    }
+}

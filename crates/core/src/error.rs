@@ -1,0 +1,144 @@
+//! Errors of the construction and decoding steps.
+
+use std::error::Error;
+use std::fmt;
+
+use exclusion_shmem::{ProcessId, RegisterId};
+
+/// The construction step failed.
+///
+/// The paper assumes a livelock-free algorithm; these errors are the
+/// executable counterparts of that assumption being violated (plus a
+/// defensive step budget).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConstructError {
+    /// A process's next read can never change its state: no unexecuted
+    /// write provides a state-changing value and the current value does
+    /// not either — the process would busy-wait forever, violating
+    /// livelock freedom (paper §5.1, discussion of the read case).
+    Stuck {
+        /// The construction stage (0-based index into π).
+        stage: usize,
+        /// The stuck process.
+        pid: ProcessId,
+        /// The register it is waiting on.
+        reg: RegisterId,
+    },
+    /// A write did not change the writer's state; such a process would
+    /// repeat the write forever (paper footnote 6).
+    WriteLoop {
+        /// The construction stage.
+        stage: usize,
+        /// The offending process.
+        pid: ProcessId,
+        /// The register it writes.
+        reg: RegisterId,
+    },
+    /// A stage exceeded the step budget without completing its critical
+    /// and exit section.
+    BudgetExceeded {
+        /// The construction stage.
+        stage: usize,
+        /// The process that did not finish.
+        pid: ProcessId,
+        /// The exhausted budget.
+        limit: usize,
+    },
+    /// The algorithm performed a read-modify-write: the paper's lower
+    /// bound (and its construction) is for the register-only model.
+    UnsupportedStep {
+        /// The construction stage.
+        stage: usize,
+        /// The process that issued the RMW.
+        pid: ProcessId,
+        /// The register it targeted.
+        reg: RegisterId,
+    },
+}
+
+impl fmt::Display for ConstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstructError::Stuck { stage, pid, reg } => write!(
+                f,
+                "stage {stage}: {pid} can never pass its busy-wait on {reg} (algorithm is not livelock-free for this permutation)"
+            ),
+            ConstructError::WriteLoop { stage, pid, reg } => write!(
+                f,
+                "stage {stage}: {pid} writes {reg} without changing state"
+            ),
+            ConstructError::BudgetExceeded { stage, pid, limit } => write!(
+                f,
+                "stage {stage}: {pid} did not finish within {limit} steps"
+            ),
+            ConstructError::UnsupportedStep { stage, pid, reg } => write!(
+                f,
+                "stage {stage}: {pid} issued a read-modify-write on {reg}; the construction is register-only (paper §3.1)"
+            ),
+        }
+    }
+}
+
+impl Error for ConstructError {}
+
+/// The decoding step failed — the input is not a valid encoding of a
+/// construction for this algorithm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// A cell does not match the step the automaton produces at that
+    /// point.
+    CellMismatch {
+        /// The process whose column diverged.
+        pid: ProcessId,
+        /// The 0-based row of the offending cell.
+        row: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// No process could make progress: cells and signatures never
+    /// complete a group. Indicates a corrupted encoding.
+    Stalled {
+        /// Steps decoded before stalling.
+        decoded_steps: usize,
+    },
+    /// The bit stream could not be parsed.
+    Malformed {
+        /// Bit offset at which parsing failed.
+        bit: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::CellMismatch { pid, row, detail } => {
+                write!(f, "cell ({pid}, row {row}) diverges: {detail}")
+            }
+            DecodeError::Stalled { decoded_steps } => {
+                write!(f, "decoder stalled after {decoded_steps} steps")
+            }
+            DecodeError::Malformed { bit } => write!(f, "malformed bit stream at bit {bit}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ConstructError::Stuck {
+            stage: 2,
+            pid: ProcessId::new(1),
+            reg: RegisterId::new(3),
+        };
+        assert!(e.to_string().contains("stage 2"));
+        assert!(e.to_string().contains("livelock"));
+
+        let e = DecodeError::Stalled { decoded_steps: 17 };
+        assert!(e.to_string().contains("17"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Metasteps — Definition 5.1 of the paper.
+//!
+//! A metastep bundles steps by several processes that access the same
+//! register into one unit whose expansion hides every contained process
+//! except (possibly) the *winner*: all non-winning writes are expanded
+//! first (and immediately overwritten by the winning write), and all
+//! reads follow the winning write, so every reader observes the winner's
+//! value.
+
+use exclusion_shmem::{ProcessId, RegisterId, Step, Value};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Index of a metastep in a [`Construction`](crate::Construction).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MetastepId(pub(crate) u32);
+
+impl MetastepId {
+    /// The index of this metastep.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MetastepId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The classification `type(m) ∈ {R, W, C}` of a metastep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MetastepKind {
+    /// A read metastep: a single state-changing read.
+    Read,
+    /// A write metastep: writes, a winning write, and reads.
+    Write,
+    /// A critical metastep: a single critical step.
+    Crit,
+}
+
+/// One metastep (Definition 5.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Metastep {
+    pub(crate) id: MetastepId,
+    pub(crate) kind: MetastepKind,
+    pub(crate) reg: Option<RegisterId>,
+    /// Non-winning write steps (`write(m)` in the paper).
+    pub(crate) writes: Vec<Step>,
+    /// The winning write (`win(m)`), present iff `kind == Write`.
+    pub(crate) winner: Option<Step>,
+    /// Read steps (`read(m)`).
+    pub(crate) reads: Vec<Step>,
+    /// The critical step (`crit(m)`), present iff `kind == Crit`.
+    pub(crate) crit: Option<Step>,
+    /// The preread set (`pread(m)`) — read metasteps ordered just before
+    /// this write metastep.
+    pub(crate) pread: Vec<MetastepId>,
+    /// For read metasteps: the write metastep this one is a preread of
+    /// (`None` means it is a "solo read", `SR` in the encoding).
+    pub(crate) preread_of: Option<MetastepId>,
+}
+
+impl Metastep {
+    /// This metastep's identifier.
+    #[must_use]
+    pub fn id(&self) -> MetastepId {
+        self.id
+    }
+
+    /// The classification `type(m)`.
+    #[must_use]
+    pub fn kind(&self) -> MetastepKind {
+        self.kind
+    }
+
+    /// The register all contained steps access (`reg(m)`), `None` for
+    /// critical metasteps.
+    #[must_use]
+    pub fn register(&self) -> Option<RegisterId> {
+        self.reg
+    }
+
+    /// The value of the winning write (`val(m)`), for write metasteps.
+    #[must_use]
+    pub fn value(&self) -> Option<Value> {
+        self.winner.as_ref().and_then(Step::value)
+    }
+
+    /// The winning write step (`win(m)`).
+    #[must_use]
+    pub fn winner(&self) -> Option<&Step> {
+        self.winner.as_ref()
+    }
+
+    /// Non-winning write steps (`write(m)`).
+    #[must_use]
+    pub fn writes(&self) -> &[Step] {
+        &self.writes
+    }
+
+    /// Read steps (`read(m)`).
+    #[must_use]
+    pub fn reads(&self) -> &[Step] {
+        &self.reads
+    }
+
+    /// The critical step, for critical metasteps.
+    #[must_use]
+    pub fn crit(&self) -> Option<&Step> {
+        self.crit.as_ref()
+    }
+
+    /// The preread set (`pread(m)`).
+    #[must_use]
+    pub fn pread(&self) -> &[MetastepId] {
+        &self.pread
+    }
+
+    /// For read metasteps: the write metastep this is a preread of.
+    #[must_use]
+    pub fn preread_of(&self) -> Option<MetastepId> {
+        self.preread_of
+    }
+
+    /// The processes contained in this metastep (`own(m)`), winner first
+    /// for write metasteps.
+    pub fn owners(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.winner
+            .iter()
+            .chain(self.writes.iter())
+            .chain(self.reads.iter())
+            .chain(self.crit.iter())
+            .map(Step::pid)
+    }
+
+    /// The step process `p` performs in this metastep (`step(m, p)`).
+    #[must_use]
+    pub fn step_of(&self, p: ProcessId) -> Option<&Step> {
+        self.winner
+            .iter()
+            .chain(self.writes.iter())
+            .chain(self.reads.iter())
+            .chain(self.crit.iter())
+            .find(|s| s.pid() == p)
+    }
+
+    /// Number of steps contained in the metastep.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.writes.len()
+            + self.reads.len()
+            + usize::from(self.winner.is_some())
+            + usize::from(self.crit.is_some())
+    }
+
+    /// The state-change cost of executing this metastep (Theorem 6.2's
+    /// accounting): every write costs 1, every read costs 1 (reads are
+    /// only placed where they change the reader's state), critical steps
+    /// are free.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        match self.kind {
+            MetastepKind::Crit => 0,
+            MetastepKind::Read => 1,
+            MetastepKind::Write => self.writes.len() + 1 + self.reads.len(),
+        }
+    }
+
+    /// The procedure `Seq(m)`: non-winning writes, then the winning
+    /// write, then the reads — with the nondeterministic `concat` orders
+    /// drawn from `rng`.
+    pub fn seq_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Step> {
+        let mut out = Vec::with_capacity(self.size());
+        let mut writes = self.writes.clone();
+        writes.shuffle(rng);
+        out.extend(writes);
+        out.extend(self.winner);
+        let mut reads = self.reads.clone();
+        reads.shuffle(rng);
+        out.extend(reads);
+        out.extend(self.crit);
+        out
+    }
+
+    /// `Seq(m)` with the deterministic (insertion) order for both
+    /// `concat`s.
+    #[must_use]
+    pub fn seq(&self) -> Vec<Step> {
+        self.writes
+            .iter()
+            .chain(self.winner.iter())
+            .chain(self.reads.iter())
+            .chain(self.crit.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Whether `steps` is a legal expansion of this metastep: the same
+    /// multiset of steps, all non-winning writes before the winning
+    /// write, and the winning write before all reads.
+    #[must_use]
+    pub fn is_seq(&self, steps: &[Step]) -> bool {
+        if steps.len() != self.size() {
+            return false;
+        }
+        match self.kind {
+            MetastepKind::Crit => steps[0] == *self.crit.as_ref().expect("crit step"),
+            MetastepKind::Read => steps[0] == self.reads[0],
+            MetastepKind::Write => {
+                let w = self.writes.len();
+                let mut front: Vec<Step> = steps[..w].to_vec();
+                front.sort_by_key(step_key);
+                let mut expected: Vec<Step> = self.writes.clone();
+                expected.sort_by_key(step_key);
+                if front != expected {
+                    return false;
+                }
+                if steps[w] != *self.winner.as_ref().expect("winner") {
+                    return false;
+                }
+                let mut back: Vec<Step> = steps[w + 1..].to_vec();
+                back.sort_by_key(step_key);
+                let mut expected: Vec<Step> = self.reads.clone();
+                expected.sort_by_key(step_key);
+                back == expected
+            }
+        }
+    }
+}
+
+fn step_key(s: &Step) -> (usize, u8, usize, Value) {
+    match *s {
+        Step::Read { pid, reg } => (pid.index(), 0, reg.index(), 0),
+        Step::Write { pid, reg, value } => (pid.index(), 1, reg.index(), value),
+        // RMW steps never enter metasteps (the construction rejects
+        // them before any is created), but the key stays total.
+        Step::Rmw { pid, reg, .. } => (pid.index(), 3, reg.index(), 0),
+        Step::Crit { pid, kind } => (pid.index(), 2, kind as usize, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::CritKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: usize) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    fn write_metastep() -> Metastep {
+        Metastep {
+            id: MetastepId(0),
+            kind: MetastepKind::Write,
+            reg: Some(r(0)),
+            writes: vec![Step::write(p(1), r(0), 7), Step::write(p(2), r(0), 8)],
+            winner: Some(Step::write(p(0), r(0), 5)),
+            reads: vec![Step::read(p(3), r(0))],
+            crit: None,
+            pread: vec![],
+            preread_of: None,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let m = write_metastep();
+        assert_eq!(m.kind(), MetastepKind::Write);
+        assert_eq!(m.value(), Some(5));
+        assert_eq!(m.size(), 4);
+        assert_eq!(m.cost(), 4);
+        let owners: Vec<_> = m.owners().map(|p| p.index()).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3]);
+        assert_eq!(m.step_of(p(3)), Some(&Step::read(p(3), r(0))));
+        assert_eq!(m.step_of(p(9)), None);
+    }
+
+    #[test]
+    fn seq_places_winner_between_writes_and_reads() {
+        let m = write_metastep();
+        let s = m.seq();
+        assert!(m.is_seq(&s));
+        assert_eq!(s[2], Step::write(p(0), r(0), 5));
+        assert_eq!(s[3], Step::read(p(3), r(0)));
+    }
+
+    #[test]
+    fn seq_random_is_always_legal() {
+        let m = write_metastep();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = m.seq_random(&mut rng);
+            assert!(m.is_seq(&s));
+        }
+    }
+
+    #[test]
+    fn is_seq_rejects_misordered_expansions() {
+        let m = write_metastep();
+        let mut s = m.seq();
+        s.swap(2, 3); // read before winner
+        assert!(!m.is_seq(&s));
+        let mut s = m.seq();
+        s.swap(0, 2); // winner before a write
+        assert!(!m.is_seq(&s));
+        assert!(!m.is_seq(&s[..2]));
+    }
+
+    #[test]
+    fn crit_metastep_cost_is_zero() {
+        let m = Metastep {
+            id: MetastepId(1),
+            kind: MetastepKind::Crit,
+            reg: None,
+            writes: vec![],
+            winner: None,
+            reads: vec![],
+            crit: Some(Step::crit(p(0), CritKind::Try)),
+            pread: vec![],
+            preread_of: None,
+        };
+        assert_eq!(m.cost(), 0);
+        assert_eq!(m.size(), 1);
+        assert!(m.is_seq(&m.seq()));
+    }
+
+    #[test]
+    fn read_metastep_cost_is_one() {
+        let m = Metastep {
+            id: MetastepId(2),
+            kind: MetastepKind::Read,
+            reg: Some(r(1)),
+            writes: vec![],
+            winner: None,
+            reads: vec![Step::read(p(1), r(1))],
+            crit: None,
+            pread: vec![],
+            preread_of: None,
+        };
+        assert_eq!(m.cost(), 1);
+    }
+}

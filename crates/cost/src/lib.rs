@@ -1,0 +1,329 @@
+//! Cost models over shared-memory executions.
+//!
+//! The paper's contribution is a lower bound in the **state change (SC)
+//! cost model** (Definition 3.1): an algorithm is charged one unit for
+//! every shared-memory step after which the acting process's state
+//! differs — so a busy-wait that keeps reading the same value on one
+//! register is free until the value it is waiting for arrives. This crate
+//! implements SC exactly, plus the two standard models the paper
+//! contrasts it with in §3.3:
+//!
+//! * [`cc_cost`] — the **cache-coherent (CC)** model: a read costs one
+//!   remote memory reference when the register is not in the reader's
+//!   cache (never read since the last invalidating write); a write always
+//!   costs one and invalidates all other caches;
+//! * [`dsm_cost`] — the **distributed shared memory (DSM)** model: every
+//!   access to a register whose home is not the acting process costs one
+//!   (homes are declared by [`Automaton::register_home`]).
+//!
+//! All models are computed by deterministic replay, so they apply to any
+//! recorded [`Execution`].
+//!
+//! # Example
+//!
+//! ```
+//! use exclusion_cost::{sc_cost, cc_cost, dsm_cost};
+//! use exclusion_mutex::DekkerTournament;
+//! use exclusion_shmem::sched::run_sequential;
+//! use exclusion_shmem::ProcessId;
+//!
+//! let alg = DekkerTournament::new(8);
+//! let order: Vec<_> = ProcessId::all(8).collect();
+//! let exec = run_sequential(&alg, &order, 100_000).unwrap();
+//! let sc = sc_cost(&alg, &exec).unwrap();
+//! // Every shared access in a canonical (no-contention) run changes
+//! // state, so SC ≤ total shared accesses.
+//! assert!(sc.total() <= exec.shared_accesses());
+//! assert!(cc_cost(&alg, &exec).unwrap().total() > 0);
+//! assert!(dsm_cost(&alg, &exec).unwrap().total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use exclusion_shmem::{replay, Automaton, Execution, ProcessId, RegisterId, ReplayError, Step};
+
+/// A cost total with per-process and per-register breakdowns.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CostReport {
+    per_process: Vec<usize>,
+    per_register: HashMap<RegisterId, usize>,
+}
+
+impl CostReport {
+    fn new(n: usize) -> Self {
+        CostReport {
+            per_process: vec![0; n],
+            per_register: HashMap::new(),
+        }
+    }
+
+    fn charge(&mut self, pid: ProcessId, reg: RegisterId) {
+        self.per_process[pid.index()] += 1;
+        *self.per_register.entry(reg).or_insert(0) += 1;
+    }
+
+    /// Total cost over all processes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.per_process.iter().sum()
+    }
+
+    /// Cost charged to one process.
+    #[must_use]
+    pub fn process(&self, pid: ProcessId) -> usize {
+        self.per_process[pid.index()]
+    }
+
+    /// Cost charged per process, indexed by process.
+    #[must_use]
+    pub fn per_process(&self) -> &[usize] {
+        &self.per_process
+    }
+
+    /// Cost attributed to accesses of one register.
+    #[must_use]
+    pub fn register(&self, reg: RegisterId) -> usize {
+        self.per_register.get(&reg).copied().unwrap_or(0)
+    }
+
+    /// The maximum cost any single process was charged.
+    #[must_use]
+    pub fn max_process(&self) -> usize {
+        self.per_process.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The state-change cost `C(α)` of Definition 3.1: one unit per
+/// shared-memory step that changes the acting process's state.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn sc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
+    let mut report = CostReport::new(alg.processes());
+    replay(alg, exec.steps(), |o| {
+        if o.state_changed {
+            if let Some(reg) = o.step.register() {
+                report.charge(o.step.pid(), reg);
+            }
+        }
+    })?;
+    Ok(report)
+}
+
+/// The cache-coherent cost: remote memory references under a
+/// write-invalidate protocol with unbounded caches.
+///
+/// A read by `p` of register `ℓ` is free if `p` has read or written `ℓ`
+/// since the last write to `ℓ` by another process, and costs one
+/// otherwise (the line must be fetched). A write always costs one and
+/// invalidates every other process's cached copy.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn cc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
+    let n = alg.processes();
+    let regs = alg.registers();
+    let mut report = CostReport::new(n);
+    // cached[p][ℓ]: does p hold a valid copy of ℓ?
+    let mut cached = vec![vec![false; regs]; n];
+    replay(alg, exec.steps(), |o| match o.step {
+        Step::Read { pid, reg } => {
+            if !cached[pid.index()][reg.index()] {
+                report.charge(pid, reg);
+                cached[pid.index()][reg.index()] = true;
+            }
+        }
+        // RMW claims the line exclusively, like a write.
+        Step::Write { pid, reg, .. } | Step::Rmw { pid, reg, .. } => {
+            report.charge(pid, reg);
+            for (i, c) in cached.iter_mut().enumerate() {
+                c[reg.index()] = i == pid.index();
+            }
+        }
+        Step::Crit { .. } => {}
+    })?;
+    Ok(report)
+}
+
+/// The distributed-shared-memory cost: one unit per access to a register
+/// whose [`register_home`](Automaton::register_home) is not the acting
+/// process (or is unassigned).
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn dsm_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
+    let mut report = CostReport::new(alg.processes());
+    replay(alg, exec.steps(), |o| {
+        if let Some(reg) = o.step.register() {
+            if alg.register_home(reg) != Some(o.step.pid()) {
+                report.charge(o.step.pid(), reg);
+            }
+        }
+    })?;
+    Ok(report)
+}
+
+/// All three costs of one execution: `(sc, cc, dsm)`.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn all_costs<A: Automaton>(
+    alg: &A,
+    exec: &Execution,
+) -> Result<(CostReport, CostReport, CostReport), ReplayError> {
+    Ok((sc_cost(alg, exec)?, cc_cost(alg, exec)?, dsm_cost(alg, exec)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_mutex::{AnyAlgorithm, Bakery, DekkerTournament, Peterson};
+    use exclusion_shmem::sched::{run_random, run_round_robin, run_sequential};
+    use exclusion_shmem::testing::Alternator;
+    use exclusion_shmem::Automaton;
+
+    fn canonical<A: Automaton>(alg: &A) -> Execution {
+        let order: Vec<_> = ProcessId::all(alg.processes()).collect();
+        run_sequential(alg, &order, 1_000_000).expect("canonical run")
+    }
+
+    #[test]
+    fn sc_ignores_free_busywaits() {
+        // Alternator: p1 spins on `turn` while p0 completes. Under round
+        // robin p1's failed reads are free.
+        let alg = Alternator::new(2);
+        let exec = run_round_robin(&alg, 1, 10_000).unwrap();
+        let sc = sc_cost(&alg, &exec).unwrap();
+        let (reads, writes, _) = exec.type_counts();
+        assert!(reads + writes > sc.total(), "some spins must be free");
+        // p1 pays exactly: 1 successful read + 1 write = 2.
+        assert_eq!(sc.process(ProcessId::new(1)), 2);
+    }
+
+    #[test]
+    fn sc_charges_every_step_in_solo_runs() {
+        // A canonical sequential dekker run has no contention: every
+        // shared access changes state.
+        let alg = DekkerTournament::new(8);
+        let exec = canonical(&alg);
+        let sc = sc_cost(&alg, &exec).unwrap();
+        assert_eq!(sc.total(), exec.shared_accesses());
+    }
+
+    #[test]
+    fn dekker_canonical_sc_cost_is_4_n_log_n() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let alg = DekkerTournament::new(n);
+            let exec = canonical(&alg);
+            let sc = sc_cost(&alg, &exec).unwrap();
+            let levels = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            assert_eq!(sc.total(), 4 * levels * n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bakery_canonical_sc_cost_is_quadratic() {
+        let mut prev = 0;
+        for n in [4usize, 8, 16] {
+            let alg = Bakery::new(n);
+            let exec = canonical(&alg);
+            let sc = sc_cost(&alg, &exec).unwrap().total();
+            // ~ n * (n reads + n waits + 3 writes): strictly superlinear.
+            assert!(sc >= n * n, "n = {n}, sc = {sc}");
+            assert!(sc > 2 * prev, "quadratic growth from {prev} to {sc}");
+            prev = sc;
+        }
+    }
+
+    #[test]
+    fn cc_cached_rereads_are_free() {
+        // In Peterson contention, a spinning process re-reads the same
+        // two registers; CC charges only on invalidation.
+        let alg = Peterson::new(2);
+        let exec = run_round_robin(&alg, 2, 100_000).unwrap();
+        let cc = cc_cost(&alg, &exec).unwrap();
+        let sc = sc_cost(&alg, &exec).unwrap();
+        let (reads, writes, _) = exec.type_counts();
+        assert!(cc.total() <= reads + writes);
+        // Peterson's two-register spin changes state every read: SC
+        // charges the spin, CC does not.
+        assert!(sc.total() >= cc.total());
+    }
+
+    #[test]
+    fn dsm_respects_homes() {
+        // Bakery declares choosing[i]/number[i] home = i; a process's
+        // accesses to its own registers are free.
+        let alg = Bakery::new(3);
+        let exec = canonical(&alg);
+        let dsm = dsm_cost(&alg, &exec).unwrap();
+        let sc = sc_cost(&alg, &exec).unwrap();
+        assert!(dsm.total() < sc.total());
+        for p in ProcessId::all(3) {
+            assert!(dsm.process(p) > 0);
+        }
+    }
+
+    #[test]
+    fn dsm_charges_everything_without_homes() {
+        // Peterson declares no homes: DSM cost = all shared accesses.
+        let alg = Peterson::new(2);
+        let exec = canonical(&alg);
+        let dsm = dsm_cost(&alg, &exec).unwrap();
+        assert_eq!(dsm.total(), exec.shared_accesses());
+    }
+
+    #[test]
+    fn reports_break_down_consistently() {
+        let alg = DekkerTournament::new(4);
+        let exec = canonical(&alg);
+        let (sc, cc, dsm) = all_costs(&alg, &exec).unwrap();
+        for report in [&sc, &cc, &dsm] {
+            let by_reg: usize = RegisterId::all(alg.registers())
+                .map(|r| report.register(r))
+                .sum();
+            assert_eq!(report.total(), by_reg);
+            assert!(report.max_process() <= report.total());
+        }
+    }
+
+    #[test]
+    fn costs_are_deterministic_across_replays() {
+        let alg = DekkerTournament::new(4);
+        let exec = run_random(&alg, 2, 1_000_000, 7).unwrap();
+        let a = sc_cost(&alg, &exec).unwrap();
+        let b = sc_cost(&alg, &exec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn whole_suite_has_finite_canonical_costs() {
+        for alg in AnyAlgorithm::suite(6) {
+            let exec = canonical(&alg);
+            let (sc, cc, dsm) = all_costs(&alg, &exec).unwrap();
+            assert!(sc.total() > 0, "{}", alg.name());
+            assert!(cc.total() > 0, "{}", alg.name());
+            assert!(dsm.total() > 0, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn replay_error_propagates() {
+        use exclusion_shmem::{CritKind, Step};
+        let alg = Peterson::new(2);
+        let bogus = Execution::from_steps(vec![Step::crit(
+            ProcessId::new(0),
+            CritKind::Enter, // processes must start with try
+        )]);
+        assert!(sc_cost(&alg, &bogus).is_err());
+        assert!(cc_cost(&alg, &bogus).is_err());
+        assert!(dsm_cost(&alg, &bogus).is_err());
+    }
+}

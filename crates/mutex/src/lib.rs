@@ -1,0 +1,64 @@
+//! Register-only mutual exclusion algorithms as deterministic automata
+//! over the [`exclusion_shmem`] model.
+//!
+//! The suite spans the cost spectrum the paper's related-work section
+//! surveys:
+//!
+//! | Algorithm | Canonical SC cost | Notes |
+//! |---|---|---|
+//! | [`DekkerTournament`] | Θ(n log n) | local-spin tournament; the tight upper bound (DESIGN.md §6.3) |
+//! | [`Peterson`] | Θ(n log n) | tournament; remote spins under contention |
+//! | [`Dijkstra`] | Θ(n²) | the original 1965 algorithm |
+//! | [`BurnsLynch`] | Θ(n²) | one shared bit per process (space-optimal) |
+//! | [`Bakery`] | Θ(n²) | Lamport's first-come-first-served lock |
+//! | [`Filter`] | Θ(n³) | level-based generalization of Peterson |
+//!
+//! The [`rmw`] module adds locks built on read-modify-write primitives
+//! (TAS, TTAS, ticket, CLH, MCS) — outside the paper's register-only
+//! model, but priced by the same cost models for comparison; the
+//! lower-bound construction rejects them with a diagnostic.
+//!
+//! Every algorithm is exhaustively model-checked for small `n` in this
+//! crate's tests; the deliberately broken locks in [`broken`] and the
+//! subtly racy [`stale_tournament`] reconstruction verify that the
+//! checker is actually capable of rejecting bad protocols.
+//!
+//! # Example
+//!
+//! ```
+//! use exclusion_mutex::DekkerTournament;
+//! use exclusion_shmem::sched::run_sequential;
+//! use exclusion_shmem::ProcessId;
+//!
+//! // The canonical execution of the paper: n processes, each entering
+//! // the critical section exactly once, here in identity order.
+//! let alg = DekkerTournament::new(8);
+//! let order: Vec<_> = ProcessId::all(8).collect();
+//! let exec = run_sequential(&alg, &order, 100_000)?;
+//! assert!(exec.is_canonical(8));
+//! # Ok::<(), exclusion_shmem::RunError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bakery;
+pub mod broken;
+pub mod burns_lynch;
+pub mod dekker;
+pub mod dijkstra;
+pub mod filter;
+pub mod peterson;
+pub mod rmw;
+pub mod stale_tournament;
+pub mod suite;
+pub mod tree;
+
+pub use bakery::Bakery;
+pub use burns_lynch::BurnsLynch;
+pub use dekker::DekkerTournament;
+pub use dijkstra::Dijkstra;
+pub use filter::Filter;
+pub use peterson::Peterson;
+pub use rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
+pub use suite::{AnyAlgorithm, AnyState};

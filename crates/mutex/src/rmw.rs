@@ -1,0 +1,594 @@
+//! Simulated locks built on read-modify-write primitives — the
+//! "stronger memory primitives" of the paper's §8 — mirroring the
+//! hardware family in `exclusion-spin`.
+//!
+//! These automata use [`NextStep::Rmw`] and therefore live *outside*
+//! the paper's register-only model: the lower-bound construction
+//! rejects them with [`ConstructError::UnsupportedStep`] (tested in the
+//! workspace's failure-injection suite), but the simulator, the cost
+//! models and the model checker handle them fully, which lets the
+//! experiments compare register-only and RMW synchronization under
+//! identical accounting.
+//!
+//! [`ConstructError::UnsupportedStep`]: ../exclusion_lb/enum.ConstructError.html
+
+use exclusion_shmem::{
+    Automaton, CritKind, NextStep, Observation, ProcessId, RegisterId, RmwOp, Value,
+};
+
+/// Common phase structure shared by the RMW lock automata.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Phase {
+    Remainder,
+    /// Entry phases (meaning per algorithm).
+    Entry(u8),
+    Entering,
+    Critical,
+    /// Exit phases (meaning per algorithm).
+    Exit(u8),
+    Resting,
+}
+
+/// Per-process state: a phase and one auxiliary word (ticket,
+/// predecessor node, successor …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RmwState {
+    phase: Phase,
+    aux: Value,
+}
+
+impl RmwState {
+    fn at(phase: Phase, aux: Value) -> Self {
+        RmwState { phase, aux }
+    }
+}
+
+macro_rules! common_crit {
+    ($self:ident, $state:ident, $obs:ident, $entry0:expr) => {
+        match ($state.phase, $obs) {
+            (Phase::Remainder, Observation::Crit) => return $entry0,
+            (Phase::Entering, Observation::Crit) => {
+                return RmwState::at(Phase::Critical, $state.aux)
+            }
+            (Phase::Critical, Observation::Crit) => return RmwState::at(Phase::Exit(0), $state.aux),
+            // aux is preserved across the remainder section: CLH carries
+            // its recycled node index from passage to passage.
+            (Phase::Resting, Observation::Crit) => {
+                return RmwState::at(Phase::Remainder, $state.aux)
+            }
+            _ => {}
+        }
+    };
+}
+
+/// Test-and-set: spin on `swap(1)` until the old value is 0.
+///
+/// In the SC model a failed swap leaves both the register and the state
+/// unchanged, so TAS spinning is *free* — while under CC every attempt
+/// claims the line. The pair quantifies how differently the two models
+/// price write-based spinning.
+#[derive(Clone, Copy, Debug)]
+pub struct TasSim {
+    n: usize,
+}
+
+impl TasSim {
+    /// An `n`-process test-and-set lock.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TasSim { n }
+    }
+
+    fn bit(&self) -> RegisterId {
+        RegisterId::new(0)
+    }
+}
+
+impl Automaton for TasSim {
+    type State = RmwState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn registers(&self) -> usize {
+        1
+    }
+    fn initial_state(&self, _p: ProcessId) -> RmwState {
+        RmwState::at(Phase::Remainder, 0)
+    }
+
+    fn next_step(&self, _p: ProcessId, s: &RmwState) -> NextStep {
+        match s.phase {
+            Phase::Remainder => NextStep::Crit(CritKind::Try),
+            Phase::Entry(_) => NextStep::Rmw(self.bit(), RmwOp::Swap(1)),
+            Phase::Entering => NextStep::Crit(CritKind::Enter),
+            Phase::Critical => NextStep::Crit(CritKind::Exit),
+            Phase::Exit(_) => NextStep::Write(self.bit(), 0),
+            Phase::Resting => NextStep::Crit(CritKind::Rem),
+        }
+    }
+
+    fn observe(&self, _p: ProcessId, s: &RmwState, obs: Observation) -> RmwState {
+        common_crit!(self, s, obs, RmwState::at(Phase::Entry(0), 0));
+        match (s.phase, obs) {
+            (Phase::Entry(0), Observation::Rmw(old)) => {
+                if old == 0 {
+                    RmwState::at(Phase::Entering, 0)
+                } else {
+                    *s // failed swap: spin
+                }
+            }
+            (Phase::Exit(0), Observation::Write) => RmwState::at(Phase::Resting, 0),
+            _ => unreachable!("tas: {s:?} cannot observe {obs:?}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        "tas-sim".to_string()
+    }
+}
+
+/// Test-and-test-and-set: read until the bit looks free, then swap.
+#[derive(Clone, Copy, Debug)]
+pub struct TtasSim {
+    n: usize,
+}
+
+impl TtasSim {
+    /// An `n`-process TTAS lock.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TtasSim { n }
+    }
+
+    fn bit(&self) -> RegisterId {
+        RegisterId::new(0)
+    }
+}
+
+impl Automaton for TtasSim {
+    type State = RmwState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn registers(&self) -> usize {
+        1
+    }
+    fn initial_state(&self, _p: ProcessId) -> RmwState {
+        RmwState::at(Phase::Remainder, 0)
+    }
+
+    fn next_step(&self, _p: ProcessId, s: &RmwState) -> NextStep {
+        match s.phase {
+            Phase::Remainder => NextStep::Crit(CritKind::Try),
+            Phase::Entry(0) => NextStep::Read(self.bit()),
+            Phase::Entry(_) => NextStep::Rmw(self.bit(), RmwOp::Swap(1)),
+            Phase::Entering => NextStep::Crit(CritKind::Enter),
+            Phase::Critical => NextStep::Crit(CritKind::Exit),
+            Phase::Exit(_) => NextStep::Write(self.bit(), 0),
+            Phase::Resting => NextStep::Crit(CritKind::Rem),
+        }
+    }
+
+    fn observe(&self, _p: ProcessId, s: &RmwState, obs: Observation) -> RmwState {
+        common_crit!(self, s, obs, RmwState::at(Phase::Entry(0), 0));
+        match (s.phase, obs) {
+            (Phase::Entry(0), Observation::Read(v)) => {
+                if v == 0 {
+                    RmwState::at(Phase::Entry(1), 0)
+                } else {
+                    *s // polled busy: spin on the read
+                }
+            }
+            (Phase::Entry(1), Observation::Rmw(old)) => {
+                if old == 0 {
+                    RmwState::at(Phase::Entering, 0)
+                } else {
+                    RmwState::at(Phase::Entry(0), 0) // lost the race: re-poll
+                }
+            }
+            (Phase::Exit(0), Observation::Write) => RmwState::at(Phase::Resting, 0),
+            _ => unreachable!("ttas: {s:?} cannot observe {obs:?}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        "ttas-sim".to_string()
+    }
+}
+
+/// Ticket lock: `fetch_add` draws a ticket; the holder bumps
+/// `serving` on release. FIFO-fair.
+#[derive(Clone, Copy, Debug)]
+pub struct TicketSim {
+    n: usize,
+}
+
+impl TicketSim {
+    /// An `n`-process ticket lock.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TicketSim { n }
+    }
+
+    fn next_reg(&self) -> RegisterId {
+        RegisterId::new(0)
+    }
+    fn serving(&self) -> RegisterId {
+        RegisterId::new(1)
+    }
+}
+
+impl Automaton for TicketSim {
+    type State = RmwState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn registers(&self) -> usize {
+        2
+    }
+    fn initial_state(&self, _p: ProcessId) -> RmwState {
+        RmwState::at(Phase::Remainder, 0)
+    }
+
+    fn next_step(&self, _p: ProcessId, s: &RmwState) -> NextStep {
+        match s.phase {
+            Phase::Remainder => NextStep::Crit(CritKind::Try),
+            Phase::Entry(0) => NextStep::Rmw(self.next_reg(), RmwOp::FetchAdd(1)),
+            Phase::Entry(_) => NextStep::Read(self.serving()),
+            Phase::Entering => NextStep::Crit(CritKind::Enter),
+            Phase::Critical => NextStep::Crit(CritKind::Exit),
+            // aux still holds our ticket; hand off to ticket + 1.
+            Phase::Exit(_) => NextStep::Write(self.serving(), s.aux + 1),
+            Phase::Resting => NextStep::Crit(CritKind::Rem),
+        }
+    }
+
+    fn observe(&self, _p: ProcessId, s: &RmwState, obs: Observation) -> RmwState {
+        common_crit!(self, s, obs, RmwState::at(Phase::Entry(0), 0));
+        match (s.phase, obs) {
+            (Phase::Entry(0), Observation::Rmw(ticket)) => RmwState::at(Phase::Entry(1), ticket),
+            (Phase::Entry(1), Observation::Read(serving)) => {
+                if serving == s.aux {
+                    RmwState::at(Phase::Entering, s.aux)
+                } else {
+                    *s // not our turn yet: single-register spin, SC-free
+                }
+            }
+            (Phase::Exit(0), Observation::Write) => RmwState::at(Phase::Resting, 0),
+            _ => unreachable!("ticket: {s:?} cannot observe {obs:?}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        "ticket-sim".to_string()
+    }
+}
+
+/// CLH queue lock: swap into the tail, spin on the predecessor's node
+/// flag; nodes recycle exactly as in the pointer-based original.
+#[derive(Clone, Copy, Debug)]
+pub struct ClhSim {
+    n: usize,
+}
+
+impl ClhSim {
+    /// An `n`-process CLH lock.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ClhSim { n }
+    }
+
+    fn node(&self, i: Value) -> RegisterId {
+        RegisterId::new(i as usize)
+    }
+    fn tail(&self) -> RegisterId {
+        RegisterId::new(self.n + 1)
+    }
+}
+
+impl Automaton for ClhSim {
+    type State = RmwState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn registers(&self) -> usize {
+        // n + 1 node flags (one sentinel) plus the tail.
+        self.n + 2
+    }
+    fn initial_value(&self, reg: RegisterId) -> Value {
+        if reg == self.tail() {
+            self.n as Value // tail starts at the released sentinel node
+        } else {
+            0
+        }
+    }
+    fn initial_state(&self, p: ProcessId) -> RmwState {
+        // aux packs (my_node, pred); initially my_node = own index.
+        RmwState::at(Phase::Remainder, pack(p.index() as Value, 0))
+    }
+
+    fn next_step(&self, _p: ProcessId, s: &RmwState) -> NextStep {
+        let (my_node, pred) = unpack(s.aux);
+        match s.phase {
+            Phase::Remainder => NextStep::Crit(CritKind::Try),
+            Phase::Entry(0) => NextStep::Write(self.node(my_node), 1),
+            Phase::Entry(1) => NextStep::Rmw(self.tail(), RmwOp::Swap(my_node)),
+            Phase::Entry(_) => NextStep::Read(self.node(pred)),
+            Phase::Entering => NextStep::Crit(CritKind::Enter),
+            Phase::Critical => NextStep::Crit(CritKind::Exit),
+            Phase::Exit(_) => NextStep::Write(self.node(my_node), 0),
+            Phase::Resting => NextStep::Crit(CritKind::Rem),
+        }
+    }
+
+    fn observe(&self, _p: ProcessId, s: &RmwState, obs: Observation) -> RmwState {
+        let (my_node, pred) = unpack(s.aux);
+        common_crit!(self, s, obs, RmwState::at(Phase::Entry(0), s.aux));
+        match (s.phase, obs) {
+            (Phase::Entry(0), Observation::Write) => RmwState::at(Phase::Entry(1), s.aux),
+            (Phase::Entry(1), Observation::Rmw(old_tail)) => {
+                RmwState::at(Phase::Entry(2), pack(my_node, old_tail))
+            }
+            (Phase::Entry(2), Observation::Read(flag)) => {
+                if flag == 0 {
+                    RmwState::at(Phase::Entering, s.aux)
+                } else {
+                    *s // predecessor still holds: single-register spin
+                }
+            }
+            // Release our node and recycle the predecessor's.
+            (Phase::Exit(0), Observation::Write) => {
+                RmwState::at(Phase::Resting, pack(pred, 0))
+            }
+            _ => unreachable!("clh: {s:?} cannot observe {obs:?}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        "clh-sim".to_string()
+    }
+}
+
+/// MCS queue lock: swap into the tail, link behind the predecessor,
+/// spin on the thread's own flag; exit CASes the tail out or hands off.
+#[derive(Clone, Copy, Debug)]
+pub struct McsSim {
+    n: usize,
+}
+
+impl McsSim {
+    /// An `n`-process MCS lock.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        McsSim { n }
+    }
+
+    fn locked(&self, i: usize) -> RegisterId {
+        RegisterId::new(i)
+    }
+    fn next(&self, i: usize) -> RegisterId {
+        RegisterId::new(self.n + i)
+    }
+    fn tail(&self) -> RegisterId {
+        RegisterId::new(2 * self.n)
+    }
+}
+
+impl Automaton for McsSim {
+    type State = RmwState;
+
+    fn processes(&self) -> usize {
+        self.n
+    }
+    fn registers(&self) -> usize {
+        2 * self.n + 1
+    }
+    fn initial_state(&self, _p: ProcessId) -> RmwState {
+        RmwState::at(Phase::Remainder, 0)
+    }
+
+    fn next_step(&self, p: ProcessId, s: &RmwState) -> NextStep {
+        let me = p.index();
+        match s.phase {
+            Phase::Remainder => NextStep::Crit(CritKind::Try),
+            Phase::Entry(0) => NextStep::Write(self.next(me), 0),
+            Phase::Entry(1) => NextStep::Write(self.locked(me), 1),
+            Phase::Entry(2) => NextStep::Rmw(self.tail(), RmwOp::Swap(me as Value + 1)),
+            Phase::Entry(3) => NextStep::Write(self.next(s.aux as usize), me as Value + 1),
+            Phase::Entry(_) => NextStep::Read(self.locked(me)),
+            Phase::Entering => NextStep::Crit(CritKind::Enter),
+            Phase::Critical => NextStep::Crit(CritKind::Exit),
+            Phase::Exit(0) => NextStep::Read(self.next(me)),
+            Phase::Exit(1) => NextStep::Rmw(
+                self.tail(),
+                RmwOp::CompareAndSwap {
+                    expect: me as Value + 1,
+                    new: 0,
+                },
+            ),
+            Phase::Exit(2) => NextStep::Read(self.next(me)),
+            Phase::Exit(_) => NextStep::Write(self.locked(s.aux as usize), 0),
+            Phase::Resting => NextStep::Crit(CritKind::Rem),
+        }
+    }
+
+    fn observe(&self, p: ProcessId, s: &RmwState, obs: Observation) -> RmwState {
+        let me = p.index() as Value;
+        common_crit!(self, s, obs, RmwState::at(Phase::Entry(0), 0));
+        match (s.phase, obs) {
+            (Phase::Entry(0), Observation::Write) => RmwState::at(Phase::Entry(1), 0),
+            (Phase::Entry(1), Observation::Write) => RmwState::at(Phase::Entry(2), 0),
+            (Phase::Entry(2), Observation::Rmw(old_tail)) => {
+                if old_tail == 0 {
+                    RmwState::at(Phase::Entering, 0)
+                } else {
+                    // aux := predecessor index.
+                    RmwState::at(Phase::Entry(3), old_tail - 1)
+                }
+            }
+            (Phase::Entry(3), Observation::Write) => RmwState::at(Phase::Entry(4), 0),
+            (Phase::Entry(4), Observation::Read(locked)) => {
+                if locked == 0 {
+                    RmwState::at(Phase::Entering, 0)
+                } else {
+                    *s // spin on our own flag
+                }
+            }
+            (Phase::Exit(0), Observation::Read(next)) => {
+                if next == 0 {
+                    RmwState::at(Phase::Exit(1), 0)
+                } else {
+                    RmwState::at(Phase::Exit(3), next - 1)
+                }
+            }
+            (Phase::Exit(1), Observation::Rmw(old_tail)) => {
+                if old_tail == me + 1 {
+                    RmwState::at(Phase::Resting, 0) // no successor: done
+                } else {
+                    RmwState::at(Phase::Exit(2), 0) // successor is linking
+                }
+            }
+            (Phase::Exit(2), Observation::Read(next)) => {
+                if next == 0 {
+                    *s // wait for the successor's link: single register
+                } else {
+                    RmwState::at(Phase::Exit(3), next - 1)
+                }
+            }
+            (Phase::Exit(3), Observation::Write) => RmwState::at(Phase::Resting, 0),
+            _ => unreachable!("mcs: {s:?} cannot observe {obs:?}"),
+        }
+    }
+
+    fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
+        (reg.index() < self.n).then(|| ProcessId::new(reg.index()))
+    }
+
+    fn name(&self) -> String {
+        "mcs-sim".to_string()
+    }
+}
+
+fn pack(hi: Value, lo: Value) -> Value {
+    hi << 32 | lo
+}
+
+fn unpack(v: Value) -> (Value, Value) {
+    (v >> 32, v & 0xFFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::checker::{check_mutual_exclusion, CheckConfig};
+    use exclusion_shmem::sched::{run_random, run_round_robin, run_sequential};
+
+    fn rmw_algorithms(n: usize) -> Vec<crate::AnyAlgorithm> {
+        crate::AnyAlgorithm::rmw_suite(n)
+    }
+
+    #[test]
+    fn all_rmw_locks_complete_canonical_runs() {
+        for alg in rmw_algorithms(5) {
+            let order: Vec<_> = ProcessId::all(5).collect();
+            let exec = run_sequential(&alg, &order, 100_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            assert!(exec.is_canonical(5), "{}", alg.name());
+            assert_eq!(exec.critical_order(), order, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn all_rmw_locks_are_safe_under_contention() {
+        for alg in rmw_algorithms(3) {
+            let exec = run_round_robin(&alg, 2, 1_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            assert!(exec.mutual_exclusion(3), "{}", alg.name());
+            for seed in 0..10 {
+                let exec = run_random(&alg, 2, 1_000_000, seed)
+                    .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+                assert!(exec.mutual_exclusion(3), "{} seed {seed}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn model_check_rmw_locks_n2() {
+        for alg in rmw_algorithms(2) {
+            let out = check_mutual_exclusion(
+                &alg,
+                CheckConfig {
+                    passages: 2,
+                    max_states: 10_000_000,
+                },
+            );
+            assert!(
+                out.verified(),
+                "{}: {} states, violation {:?}",
+                alg.name(),
+                out.states_explored,
+                out.violation
+            );
+        }
+    }
+
+    #[test]
+    fn model_check_rmw_locks_n3_single_passage() {
+        for alg in rmw_algorithms(3) {
+            let out = check_mutual_exclusion(
+                &alg,
+                CheckConfig {
+                    passages: 1,
+                    max_states: 20_000_000,
+                },
+            );
+            assert!(out.verified(), "{}: {} states", alg.name(), out.states_explored);
+        }
+    }
+
+    #[test]
+    fn rmw_canonical_cost_is_constant_per_passage() {
+        // Queue and TAS locks acquire in O(1) accesses uncontended —
+        // contrast with Θ(log n) tournaments and Θ(n) scanners.
+        for alg in rmw_algorithms(16) {
+            let order: Vec<_> = ProcessId::all(16).collect();
+            let exec = run_sequential(&alg, &order, 100_000).unwrap();
+            let per_passage = exec.shared_accesses() as f64 / 16.0;
+            assert!(
+                per_passage <= 8.0,
+                "{}: {per_passage} accesses per passage",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo() {
+        // Under round robin, entry order equals draw order.
+        let alg = TicketSim::new(4);
+        let exec = run_round_robin(&alg, 1, 100_000).unwrap();
+        assert_eq!(
+            exec.critical_order(),
+            ProcessId::all(4).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn clh_nodes_recycle() {
+        let alg = ClhSim::new(2);
+        let exec = run_round_robin(&alg, 4, 1_000_000).unwrap();
+        assert!(exec.mutual_exclusion(2));
+        assert_eq!(exec.critical_order().len(), 8);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (hi, lo) in [(0u64, 0u64), (3, 7), (1 << 20, 1 << 30)] {
+            assert_eq!(unpack(pack(hi, lo)), (hi, lo));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! A heterogeneous suite of all register-only algorithms in this crate,
+//! for experiments that iterate over algorithms at runtime.
+//!
+//! [`Automaton`] has an associated state type, so it cannot be a trait
+//! object; [`AnyAlgorithm`] closes the family into an enum with a
+//! matching [`AnyState`].
+
+use exclusion_shmem::{Automaton, NextStep, Observation, ProcessId, RegisterId, Value};
+
+use crate::rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
+use crate::{Bakery, BurnsLynch, DekkerTournament, Dijkstra, Filter, Peterson};
+
+macro_rules! suite {
+    (register: [$(($variant:ident, $ty:ty, $ctor:expr)),* $(,)?],
+     rmw: [$(($rvariant:ident, $rty:ty, $rctor:expr)),* $(,)?] $(,)?) => {
+        /// Any algorithm of the suite, selected at runtime.
+        #[derive(Clone, Copy, Debug)]
+        pub enum AnyAlgorithm {
+            $(
+                #[doc = concat!("The `", stringify!($variant), "` algorithm.")]
+                $variant($ty),
+            )*
+            $(
+                #[doc = concat!("The `", stringify!($rvariant), "` algorithm (RMW-based).")]
+                $rvariant($rty),
+            )*
+        }
+
+        /// The state of a process of [`AnyAlgorithm`].
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+        pub enum AnyState {
+            $(
+                #[doc = concat!("State of a `", stringify!($variant), "` process.")]
+                $variant(<$ty as Automaton>::State),
+            )*
+            $(
+                #[doc = concat!("State of a `", stringify!($rvariant), "` process.")]
+                $rvariant(<$rty as Automaton>::State),
+            )*
+        }
+
+        impl Automaton for AnyAlgorithm {
+            type State = AnyState;
+
+            fn processes(&self) -> usize {
+                match self {
+                    $(Self::$variant(a) => a.processes(),)*
+                    $(Self::$rvariant(a) => a.processes(),)*
+                }
+            }
+
+            fn registers(&self) -> usize {
+                match self {
+                    $(Self::$variant(a) => a.registers(),)*
+                    $(Self::$rvariant(a) => a.registers(),)*
+                }
+            }
+
+            fn initial_value(&self, reg: RegisterId) -> Value {
+                match self {
+                    $(Self::$variant(a) => a.initial_value(reg),)*
+                    $(Self::$rvariant(a) => a.initial_value(reg),)*
+                }
+            }
+
+            fn initial_state(&self, pid: ProcessId) -> AnyState {
+                match self {
+                    $(Self::$variant(a) => AnyState::$variant(a.initial_state(pid)),)*
+                    $(Self::$rvariant(a) => AnyState::$rvariant(a.initial_state(pid)),)*
+                }
+            }
+
+            fn next_step(&self, pid: ProcessId, state: &AnyState) -> NextStep {
+                match (self, state) {
+                    $((Self::$variant(a), AnyState::$variant(s)) => a.next_step(pid, s),)*
+                    $((Self::$rvariant(a), AnyState::$rvariant(s)) => a.next_step(pid, s),)*
+                    _ => panic!("state does not belong to this algorithm"),
+                }
+            }
+
+            fn observe(&self, pid: ProcessId, state: &AnyState, obs: Observation) -> AnyState {
+                match (self, state) {
+                    $((Self::$variant(a), AnyState::$variant(s)) =>
+                        AnyState::$variant(a.observe(pid, s, obs)),)*
+                    $((Self::$rvariant(a), AnyState::$rvariant(s)) =>
+                        AnyState::$rvariant(a.observe(pid, s, obs)),)*
+                    _ => panic!("state does not belong to this algorithm"),
+                }
+            }
+
+            fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
+                match self {
+                    $(Self::$variant(a) => a.register_home(reg),)*
+                    $(Self::$rvariant(a) => a.register_home(reg),)*
+                }
+            }
+
+            fn register_name(&self, reg: RegisterId) -> String {
+                match self {
+                    $(Self::$variant(a) => a.register_name(reg),)*
+                    $(Self::$rvariant(a) => a.register_name(reg),)*
+                }
+            }
+
+            fn name(&self) -> String {
+                match self {
+                    $(Self::$variant(a) => a.name(),)*
+                    $(Self::$rvariant(a) => a.name(),)*
+                }
+            }
+        }
+
+        impl AnyAlgorithm {
+            /// The register-only algorithms (the paper's model),
+            /// instantiated for `n` processes, in a stable report order.
+            #[must_use]
+            pub fn suite(n: usize) -> Vec<AnyAlgorithm> {
+                vec![ $(Self::$variant(($ctor)(n)),)* ]
+            }
+
+            /// The RMW-based locks (outside the paper's register-only
+            /// model; rejected by the construction), for `n` processes.
+            #[must_use]
+            pub fn rmw_suite(n: usize) -> Vec<AnyAlgorithm> {
+                vec![ $(Self::$rvariant(($rctor)(n)),)* ]
+            }
+
+            /// Both families, register-only first.
+            #[must_use]
+            pub fn full_suite(n: usize) -> Vec<AnyAlgorithm> {
+                let mut v = Self::suite(n);
+                v.extend(Self::rmw_suite(n));
+                v
+            }
+
+            /// Whether this algorithm uses read-modify-write primitives
+            /// (and therefore cannot be fed to the lower-bound
+            /// construction).
+            #[must_use]
+            pub fn uses_rmw(&self) -> bool {
+                matches!(self, $(Self::$rvariant(_))|*)
+            }
+        }
+    };
+}
+
+suite! {
+    register: [
+        (DekkerTournament, DekkerTournament, DekkerTournament::new),
+        (Peterson, Peterson, Peterson::new),
+        (Bakery, Bakery, Bakery::new),
+        (Filter, Filter, Filter::new),
+        (Dijkstra, Dijkstra, Dijkstra::new),
+        (BurnsLynch, BurnsLynch, BurnsLynch::new),
+    ],
+    rmw: [
+        (TasSim, TasSim, TasSim::new),
+        (TtasSim, TtasSim, TtasSim::new),
+        (TicketSim, TicketSim, TicketSim::new),
+        (ClhSim, ClhSim, ClhSim::new),
+        (McsSim, McsSim, McsSim::new),
+    ],
+}
+
+impl From<DekkerTournament> for AnyAlgorithm {
+    fn from(a: DekkerTournament) -> Self {
+        AnyAlgorithm::DekkerTournament(a)
+    }
+}
+
+impl From<Peterson> for AnyAlgorithm {
+    fn from(a: Peterson) -> Self {
+        AnyAlgorithm::Peterson(a)
+    }
+}
+
+impl From<Bakery> for AnyAlgorithm {
+    fn from(a: Bakery) -> Self {
+        AnyAlgorithm::Bakery(a)
+    }
+}
+
+impl From<Filter> for AnyAlgorithm {
+    fn from(a: Filter) -> Self {
+        AnyAlgorithm::Filter(a)
+    }
+}
+
+impl From<Dijkstra> for AnyAlgorithm {
+    fn from(a: Dijkstra) -> Self {
+        AnyAlgorithm::Dijkstra(a)
+    }
+}
+
+impl From<BurnsLynch> for AnyAlgorithm {
+    fn from(a: BurnsLynch) -> Self {
+        AnyAlgorithm::BurnsLynch(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::sched::{run_round_robin, run_sequential};
+
+    #[test]
+    fn rmw_suite_contains_five_locks() {
+        let suite = AnyAlgorithm::rmw_suite(4);
+        assert_eq!(suite.len(), 5);
+        assert!(suite.iter().all(AnyAlgorithm::uses_rmw));
+        assert_eq!(AnyAlgorithm::full_suite(4).len(), 11);
+        assert!(AnyAlgorithm::suite(4).iter().all(|a| !a.uses_rmw()));
+    }
+
+    #[test]
+    fn suite_contains_six_algorithms() {
+        let suite = AnyAlgorithm::suite(4);
+        assert_eq!(suite.len(), 6);
+        let names: Vec<_> = suite.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "dekker-tree",
+                "peterson",
+                "bakery",
+                "filter",
+                "dijkstra",
+                "burns-lynch"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_suite_member_completes_canonical_runs() {
+        for alg in AnyAlgorithm::suite(5) {
+            let order: Vec<_> = ProcessId::all(5).collect();
+            let exec = run_sequential(&alg, &order, 100_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+            assert!(exec.is_canonical(5), "{}", alg.name());
+            assert_eq!(exec.critical_order(), order, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn every_suite_member_is_safe_under_round_robin() {
+        for alg in AnyAlgorithm::suite(3) {
+            let exec = run_round_robin(&alg, 2, 1_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
+            assert!(exec.mutual_exclusion(3), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state does not belong")]
+    fn mixing_states_across_algorithms_panics() {
+        let ya = AnyAlgorithm::from(DekkerTournament::new(2));
+        let pt = AnyAlgorithm::from(Peterson::new(2));
+        let s = pt.initial_state(ProcessId::new(0));
+        let _ = ya.next_step(ProcessId::new(0), &s);
+    }
+}

@@ -1,0 +1,170 @@
+//! Arbitration-tree plumbing shared by the tournament algorithms
+//! (Peterson tournament and Yang–Anderson).
+//!
+//! Processes are placed at the leaves of a complete binary tree and climb
+//! towards the root, competing in a two-process element at every internal
+//! node. Internal nodes are numbered heap-style, `1..=nodes`, with the
+//! root at `1`; process `i` occupies leaf slot `2^levels + i`.
+
+/// Geometry of an arbitration tree for `n` processes.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_mutex::tree::Tree;
+/// let t = Tree::new(5);
+/// assert_eq!(t.levels(), 3); // 5 processes need 8 leaves
+/// assert_eq!(t.nodes(), 7);
+/// // Process 0 climbs three nodes, ending at the root.
+/// let path = t.path(0);
+/// assert_eq!(path.len(), 3);
+/// assert_eq!(path[2].node, 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Tree {
+    n: usize,
+    levels: u32,
+}
+
+/// One hop of a process's leaf-to-root path: the internal node it
+/// competes at and the side (0 = left subtree, 1 = right) it arrives on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Hop {
+    /// Heap-style index of the internal node, in `1..=nodes`.
+    pub node: usize,
+    /// Which side of the node the process arrives on.
+    pub side: u8,
+}
+
+impl Tree {
+    /// Tree geometry for `n ≥ 1` processes: the smallest complete binary
+    /// tree with at least `n` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one process");
+        let levels = usize::BITS - (n - 1).leading_zeros();
+        Tree { n, levels }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels a process climbs (0 when `n == 1`).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.levels as usize
+    }
+
+    /// Number of internal nodes, `2^levels - 1`.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        (1usize << self.levels) - 1
+    }
+
+    /// The hop of process `pid` at climb level `level` (0 = the node just
+    /// above the leaf, `levels - 1` = the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ n` or `level ≥ levels`.
+    #[must_use]
+    pub fn hop(&self, pid: usize, level: usize) -> Hop {
+        assert!(pid < self.n, "process out of range");
+        assert!(level < self.levels(), "level out of range");
+        let slot = (1usize << self.levels) + pid;
+        let shifted = slot >> level;
+        Hop {
+            node: shifted >> 1,
+            side: (shifted & 1) as u8,
+        }
+    }
+
+    /// The full leaf-to-root path of process `pid`.
+    #[must_use]
+    pub fn path(&self, pid: usize) -> Vec<Hop> {
+        (0..self.levels()).map(|l| self.hop(pid, l)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn single_process_has_no_nodes() {
+        let t = Tree::new(1);
+        assert_eq!(t.levels(), 0);
+        assert_eq!(t.nodes(), 0);
+        assert!(t.path(0).is_empty());
+    }
+
+    #[test]
+    fn two_processes_share_the_root() {
+        let t = Tree::new(2);
+        assert_eq!(t.levels(), 1);
+        assert_eq!(t.nodes(), 1);
+        assert_eq!(t.hop(0, 0), Hop { node: 1, side: 0 });
+        assert_eq!(t.hop(1, 0), Hop { node: 1, side: 1 });
+    }
+
+    #[test]
+    fn power_of_two_sizes() {
+        for (n, levels) in [(2, 1), (4, 2), (8, 3), (16, 4)] {
+            assert_eq!(Tree::new(n).levels(), levels, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        assert_eq!(Tree::new(3).levels(), 2);
+        assert_eq!(Tree::new(5).levels(), 3);
+        assert_eq!(Tree::new(9).levels(), 4);
+    }
+
+    #[test]
+    fn paths_end_at_root_and_start_at_distinct_slots() {
+        let t = Tree::new(8);
+        let mut first_hops = HashSet::new();
+        for p in 0..8 {
+            let path = t.path(p);
+            assert_eq!(path.len(), 3);
+            assert_eq!(path[2].node, 1, "all paths end at the root");
+            first_hops.insert((path[0].node, path[0].side));
+        }
+        assert_eq!(first_hops.len(), 8, "leaf slots are distinct");
+    }
+
+    #[test]
+    fn siblings_meet_at_same_node_on_opposite_sides() {
+        let t = Tree::new(4);
+        let a = t.hop(0, 0);
+        let b = t.hop(1, 0);
+        assert_eq!(a.node, b.node);
+        assert_ne!(a.side, b.side);
+        // Processes 0,1 and 2,3 meet at the root from opposite sides.
+        assert_eq!(t.hop(0, 1).node, 1);
+        assert_eq!(t.hop(2, 1).node, 1);
+        assert_ne!(t.hop(0, 1).side, t.hop(2, 1).side);
+    }
+
+    #[test]
+    fn path_within_node_bounds() {
+        for n in 1..=33 {
+            let t = Tree::new(n);
+            for p in 0..n {
+                for hop in t.path(p) {
+                    assert!(hop.node >= 1 && hop.node <= t.nodes());
+                    assert!(hop.side <= 1);
+                }
+            }
+        }
+    }
+}

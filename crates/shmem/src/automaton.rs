@@ -1,0 +1,269 @@
+//! The deterministic process-automaton trait.
+//!
+//! The paper models each process as a deterministic automaton with a state
+//! set, an initial state, and a transition function δ that computes the
+//! next step from the current state. We split δ into two pure functions:
+//!
+//! * [`Automaton::next_step`] — which step the process performs next, as a
+//!   function of its current state only;
+//! * [`Automaton::observe`] — the state reached after performing that step
+//!   and seeing its observable outcome (for a read, the value read).
+//!
+//! The split is what makes the *state change* cost model (paper §3.3) and
+//! the `SC(α, m, i)` predicate of Figure 1 directly computable: a step is
+//! charged exactly when `observe` returns a state different from its input.
+
+use crate::ids::{ProcessId, RegisterId, Value};
+use crate::step::CritKind;
+
+/// A read-modify-write operation on a register, performed atomically.
+///
+/// The paper's model — and its lower bound — is for plain registers;
+/// RMW operations are provided for the *simulator* so that the
+/// stronger-primitive algorithms the paper's related work discusses
+/// (queue locks, test-and-set) can be compared under the same cost
+/// models. The lower-bound construction rejects them explicitly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RmwOp {
+    /// Replace the value, returning the old one.
+    Swap(Value),
+    /// If the value equals `expect`, replace it with `new`; returns the
+    /// old value either way.
+    CompareAndSwap {
+        /// Value the register must currently hold.
+        expect: Value,
+        /// Replacement written on success.
+        new: Value,
+    },
+    /// Add to the value (wrapping), returning the old one.
+    FetchAdd(Value),
+}
+
+impl RmwOp {
+    /// The value the register holds after applying this operation to
+    /// `old`.
+    #[must_use]
+    pub fn apply(self, old: Value) -> Value {
+        match self {
+            RmwOp::Swap(v) => v,
+            RmwOp::CompareAndSwap { expect, new } => {
+                if old == expect {
+                    new
+                } else {
+                    old
+                }
+            }
+            RmwOp::FetchAdd(d) => old.wrapping_add(d),
+        }
+    }
+}
+
+/// The step a process wants to perform next, as computed by δ from its
+/// current state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NextStep {
+    /// Read the given register.
+    Read(RegisterId),
+    /// Write the given value to the given register.
+    Write(RegisterId, Value),
+    /// Atomically read-modify-write the given register (simulator
+    /// extension; not part of the paper's register-only model).
+    Rmw(RegisterId, RmwOp),
+    /// Perform a critical step.
+    Crit(CritKind),
+}
+
+/// The observable outcome of performing a step, fed back into the state
+/// via [`Automaton::observe`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Observation {
+    /// A read returned this value.
+    Read(Value),
+    /// A write completed (writes return nothing).
+    Write,
+    /// A read-modify-write returned this **old** value.
+    Rmw(Value),
+    /// A critical step completed.
+    Crit,
+}
+
+/// A deterministic process automaton over shared registers — one mutual
+/// exclusion algorithm for a fixed number of processes.
+///
+/// Implementations must be *deterministic*: `next_step` and `observe` must
+/// be pure functions of their arguments. They must also be *well formed*:
+/// the critical steps requested by each process must follow the cycle
+/// `try → enter → exit → rem → try → …`, starting with `try` (the paper
+/// assumes the initial step of each process is `try_i`; implementations
+/// whose protocol performs shared-memory steps before `try` would be
+/// charged for them all the same, so we require `try` first and
+/// [`System`](crate::system::System) enforces it).
+///
+/// States must implement `Eq` + `Hash`: equality defines the state-change
+/// cost model, hashing enables the model checker.
+///
+/// # Example
+///
+/// A single process that writes a register, enters, and leaves:
+///
+/// ```
+/// use exclusion_shmem::{Automaton, CritKind, NextStep, Observation,
+///                       ProcessId, RegisterId, Value};
+///
+/// struct OneShot;
+///
+/// impl Automaton for OneShot {
+///     type State = u8;
+///     fn processes(&self) -> usize { 1 }
+///     fn registers(&self) -> usize { 1 }
+///     fn initial_state(&self, _p: ProcessId) -> u8 { 0 }
+///     fn next_step(&self, _p: ProcessId, s: &u8) -> NextStep {
+///         match s {
+///             0 => NextStep::Crit(CritKind::Try),
+///             1 => NextStep::Write(RegisterId::new(0), 1),
+///             2 => NextStep::Crit(CritKind::Enter),
+///             3 => NextStep::Crit(CritKind::Exit),
+///             _ => NextStep::Crit(CritKind::Rem),
+///         }
+///     }
+///     fn observe(&self, _p: ProcessId, s: &u8, _o: Observation) -> u8 {
+///         if *s >= 4 { 0 } else { s + 1 }
+///     }
+/// }
+/// ```
+pub trait Automaton {
+    /// A process's local state. Equality is the state-change criterion of
+    /// the SC cost model; two states compare equal exactly when the
+    /// process would behave identically from them onward.
+    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+
+    /// Number of processes `n` this instance is configured for.
+    fn processes(&self) -> usize;
+
+    /// Number of shared registers the algorithm uses.
+    fn registers(&self) -> usize;
+
+    /// Initial value of register `reg`. Defaults to `0`.
+    fn initial_value(&self, reg: RegisterId) -> Value {
+        let _ = reg;
+        0
+    }
+
+    /// Initial state of process `pid`.
+    fn initial_state(&self, pid: ProcessId) -> Self::State;
+
+    /// The transition function δ: which step `pid` performs from `state`.
+    fn next_step(&self, pid: ProcessId, state: &Self::State) -> NextStep;
+
+    /// The state `pid` reaches after performing the step computed by
+    /// [`next_step`](Automaton::next_step) and observing `obs`.
+    ///
+    /// For the SC cost model to be meaningful the result must equal
+    /// `state` exactly when the process has learned nothing — e.g. a
+    /// busy-wait read that sees the value it was already spinning on.
+    fn observe(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> Self::State;
+
+    /// Home process of a register in the distributed-shared-memory cost
+    /// model, or `None` if the register is remote to every process.
+    ///
+    /// The DSM model charges a process for accessing registers that are
+    /// not local to it; algorithms designed for DSM (flag arrays, spin
+    /// variables) override this to declare their layout.
+    fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
+        let _ = reg;
+        None
+    }
+
+    /// Human-readable name of a register, for traces and debugging.
+    fn register_name(&self, reg: RegisterId) -> String {
+        format!("r{}", reg.index())
+    }
+
+    /// A short name for the algorithm, used in reports and tables.
+    fn name(&self) -> String {
+        std::any::type_name::<Self>()
+            .rsplit("::")
+            .next()
+            .unwrap_or("automaton")
+            .to_string()
+    }
+}
+
+impl<A: Automaton + ?Sized> Automaton for &A {
+    type State = A::State;
+
+    fn processes(&self) -> usize {
+        (**self).processes()
+    }
+    fn registers(&self) -> usize {
+        (**self).registers()
+    }
+    fn initial_value(&self, reg: RegisterId) -> Value {
+        (**self).initial_value(reg)
+    }
+    fn initial_state(&self, pid: ProcessId) -> Self::State {
+        (**self).initial_state(pid)
+    }
+    fn next_step(&self, pid: ProcessId, state: &Self::State) -> NextStep {
+        (**self).next_step(pid, state)
+    }
+    fn observe(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> Self::State {
+        (**self).observe(pid, state, obs)
+    }
+    fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
+        (**self).register_home(reg)
+    }
+    fn register_name(&self, reg: RegisterId) -> String {
+        (**self).register_name(reg)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Alternator;
+
+    #[test]
+    fn reference_impl_forwards() {
+        let alg = Alternator::new(2);
+        let by_ref: &Alternator = &alg;
+        assert_eq!(by_ref.processes(), alg.processes());
+        assert_eq!(by_ref.registers(), alg.registers());
+        assert_eq!(by_ref.name(), alg.name());
+        let p = ProcessId::new(0);
+        assert_eq!(by_ref.initial_state(p), alg.initial_state(p));
+        assert_eq!(by_ref.register_name(RegisterId::new(0)), "turn");
+    }
+
+    #[test]
+    fn default_register_metadata() {
+        // The default home is `None` and the default name is `r{i}`.
+        struct Plain;
+        impl Automaton for Plain {
+            type State = u8;
+            fn processes(&self) -> usize {
+                1
+            }
+            fn registers(&self) -> usize {
+                2
+            }
+            fn initial_state(&self, _p: ProcessId) -> u8 {
+                0
+            }
+            fn next_step(&self, _p: ProcessId, _s: &u8) -> NextStep {
+                NextStep::Crit(CritKind::Try)
+            }
+            fn observe(&self, _p: ProcessId, s: &u8, _o: Observation) -> u8 {
+                *s
+            }
+        }
+        let alg = Plain;
+        assert_eq!(alg.register_home(RegisterId::new(1)), None);
+        assert_eq!(alg.register_name(RegisterId::new(1)), "r1");
+        assert_eq!(alg.initial_value(RegisterId::new(0)), 0);
+        assert_eq!(alg.name(), "Plain");
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for replay and scheduling.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::automaton::NextStep;
+use crate::ids::ProcessId;
+use crate::step::Step;
+
+/// Replaying a recorded execution diverged from the automaton.
+///
+/// Because processes and registers are deterministic, a recorded execution
+/// either replays exactly or was not produced by (a schedule of) the
+/// automaton; this error reports the first point of divergence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplayError {
+    /// The recorded step at `index` names a process outside `0..n`.
+    InvalidProcess {
+        /// Position of the offending step.
+        index: usize,
+        /// The out-of-range process.
+        pid: ProcessId,
+        /// The number of processes of the automaton.
+        processes: usize,
+    },
+    /// The recorded step at `index` does not match what the automaton's
+    /// transition function produces at that point.
+    Mismatch {
+        /// Position of the offending step.
+        index: usize,
+        /// What the automaton would do.
+        expected: NextStep,
+        /// What the recording claims was done.
+        found: Step,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::InvalidProcess {
+                index,
+                pid,
+                processes,
+            } => write!(
+                f,
+                "step {index} names {pid} but the automaton has {processes} processes"
+            ),
+            ReplayError::Mismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "step {index} diverges: automaton would perform {expected:?}, recording has {found}"
+            ),
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// A scheduler-driven run did not complete within its step budget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunError {
+    /// The step budget that was exhausted.
+    pub limit: usize,
+    /// How many processes had completed all requested passages when the
+    /// budget ran out.
+    pub completed: usize,
+    /// The total number of processes.
+    pub processes: usize,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run exceeded {} steps with {}/{} processes finished",
+            self.limit, self.completed, self.processes
+        )
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegisterId;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ReplayError::Mismatch {
+            index: 3,
+            expected: NextStep::Read(RegisterId::new(0)),
+            found: Step::crit(ProcessId::new(1), crate::step::CritKind::Try),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("step 3"));
+        assert!(msg.contains("try_1"));
+
+        let e = RunError {
+            limit: 10,
+            completed: 1,
+            processes: 4,
+        };
+        assert!(e.to_string().contains("1/4"));
+    }
+}

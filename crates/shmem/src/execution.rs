@@ -1,0 +1,373 @@
+//! Recorded executions: sequences of steps with the paper's
+//! well-formedness and canonicity predicates.
+
+use std::fmt;
+
+use crate::ids::ProcessId;
+use crate::step::{CritKind, Step, StepType};
+use crate::system::Section;
+
+/// A (finite) execution, represented as its sequence of steps.
+///
+/// Because the system is deterministic with a unique initial state, the
+/// step sequence determines the system state at every point (paper,
+/// Section 3.1); read values and state changes are recovered with
+/// [`replay`](crate::replay::replay).
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::{CritKind, Execution, ProcessId, Step};
+/// let p = ProcessId::new(0);
+/// let exec: Execution = [
+///     Step::crit(p, CritKind::Try),
+///     Step::crit(p, CritKind::Enter),
+///     Step::crit(p, CritKind::Exit),
+///     Step::crit(p, CritKind::Rem),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert!(exec.is_canonical(1));
+/// assert_eq!(exec.critical_order(), vec![p]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Execution {
+    steps: Vec<Step>,
+}
+
+impl Execution {
+    /// Creates an empty execution.
+    #[must_use]
+    pub fn new() -> Self {
+        Execution::default()
+    }
+
+    /// Creates an execution from a step sequence.
+    #[must_use]
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        Execution { steps }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// The steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the execution contains no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over the steps.
+    pub fn iter(&self) -> std::slice::Iter<'_, Step> {
+        self.steps.iter()
+    }
+
+    /// Consumes the execution, returning its steps.
+    #[must_use]
+    pub fn into_steps(self) -> Vec<Step> {
+        self.steps
+    }
+
+    /// The length-`t` prefix `α(t)` of the execution (or the whole
+    /// execution if it is shorter).
+    #[must_use]
+    pub fn prefix(&self, t: usize) -> Execution {
+        Execution {
+            steps: self.steps[..t.min(self.steps.len())].to_vec(),
+        }
+    }
+
+    /// The projection `α|i`: the subsequence of steps by process `pid`.
+    pub fn projection(&self, pid: ProcessId) -> impl Iterator<Item = &Step> + '_ {
+        self.steps.iter().filter(move |s| s.pid() == pid)
+    }
+
+    /// Number of steps that access shared memory.
+    #[must_use]
+    pub fn shared_accesses(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_shared_access()).count()
+    }
+
+    /// Number of steps of each type `(reads, writes, crits)`;
+    /// read-modify-writes count as writes. See [`rmw_count`] for the
+    /// RMW steps alone.
+    ///
+    /// [`rmw_count`]: Execution::rmw_count
+    #[must_use]
+    pub fn type_counts(&self) -> (usize, usize, usize) {
+        let mut r = 0;
+        let mut w = 0;
+        let mut c = 0;
+        for s in &self.steps {
+            match s.step_type() {
+                StepType::Read => r += 1,
+                StepType::Write | StepType::Rmw => w += 1,
+                StepType::Crit => c += 1,
+            }
+        }
+        (r, w, c)
+    }
+
+    /// Number of read-modify-write steps.
+    #[must_use]
+    pub fn rmw_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.step_type() == StepType::Rmw)
+            .count()
+    }
+
+    /// Whether every process's critical steps form a prefix of the cycle
+    /// `try ∘ enter ∘ exit ∘ rem ∘ try ∘ …` — the paper's Well
+    /// Formedness condition — for an `n`-process system.
+    #[must_use]
+    pub fn well_formed(&self, n: usize) -> bool {
+        let mut sect = vec![Section::Remainder; n];
+        for s in &self.steps {
+            if s.pid().index() >= n {
+                return false;
+            }
+            if let Some(kind) = s.crit_kind() {
+                match sect[s.pid().index()].after(kind) {
+                    Some(next) => sect[s.pid().index()] = next,
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the paper's Mutual Exclusion condition holds in every
+    /// prefix: no two processes are simultaneously past `enter` but not
+    /// yet past `exit`.
+    #[must_use]
+    pub fn mutual_exclusion(&self, n: usize) -> bool {
+        let mut sect = vec![Section::Remainder; n];
+        for s in &self.steps {
+            if let Some(kind) = s.crit_kind() {
+                let i = s.pid().index();
+                if i >= n {
+                    return false;
+                }
+                match sect[i].after(kind) {
+                    Some(next) => sect[i] = next,
+                    None => return false,
+                }
+                if sect.iter().filter(|x| **x == Section::Critical).count() > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether this is a *canonical* execution for `n` processes: well
+    /// formed, and every one of the `n` processes completes its critical
+    /// and exit sections exactly once (ends with its `rem`).
+    #[must_use]
+    pub fn is_canonical(&self, n: usize) -> bool {
+        if !self.well_formed(n) {
+            return false;
+        }
+        let mut rems = vec![0usize; n];
+        let mut enters = vec![0usize; n];
+        for s in &self.steps {
+            match s.crit_kind() {
+                Some(CritKind::Rem) => rems[s.pid().index()] += 1,
+                Some(CritKind::Enter) => enters[s.pid().index()] += 1,
+                _ => {}
+            }
+        }
+        rems.iter().all(|&c| c == 1) && enters.iter().all(|&c| c == 1)
+    }
+
+    /// The order in which processes perform `enter` steps.
+    #[must_use]
+    pub fn critical_order(&self) -> Vec<ProcessId> {
+        self.steps
+            .iter()
+            .filter(|s| s.crit_kind() == Some(CritKind::Enter))
+            .map(Step::pid)
+            .collect()
+    }
+
+    /// Concatenates another execution after this one.
+    pub fn extend_from(&mut self, other: &Execution) {
+        self.steps.extend_from_slice(&other.steps);
+    }
+}
+
+impl FromIterator<Step> for Execution {
+    fn from_iter<T: IntoIterator<Item = Step>>(iter: T) -> Self {
+        Execution {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Step> for Execution {
+    fn extend<T: IntoIterator<Item = Step>>(&mut self, iter: T) {
+        self.steps.extend(iter);
+    }
+}
+
+impl From<Vec<Step>> for Execution {
+    fn from(steps: Vec<Step>) -> Self {
+        Execution { steps }
+    }
+}
+
+impl<'a> IntoIterator for &'a Execution {
+    type Item = &'a Step;
+    type IntoIter = std::slice::Iter<'a, Step>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.iter()
+    }
+}
+
+impl IntoIterator for Execution {
+    type Item = Step;
+    type IntoIter = std::vec::IntoIter<Step>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.steps.into_iter()
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegisterId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn passage(i: usize) -> Vec<Step> {
+        vec![
+            Step::crit(p(i), CritKind::Try),
+            Step::crit(p(i), CritKind::Enter),
+            Step::crit(p(i), CritKind::Exit),
+            Step::crit(p(i), CritKind::Rem),
+        ]
+    }
+
+    #[test]
+    fn empty_execution_is_well_formed_not_canonical() {
+        let e = Execution::new();
+        assert!(e.well_formed(2));
+        assert!(e.mutual_exclusion(2));
+        assert!(!e.is_canonical(2));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn sequential_passages_are_canonical() {
+        let mut steps = passage(0);
+        steps.extend(passage(1));
+        let e = Execution::from_steps(steps);
+        assert!(e.well_formed(2));
+        assert!(e.mutual_exclusion(2));
+        assert!(e.is_canonical(2));
+        assert_eq!(e.critical_order(), vec![p(0), p(1)]);
+    }
+
+    #[test]
+    fn interleaved_criticals_violate_mutual_exclusion() {
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(1), CritKind::Try),
+            Step::crit(p(0), CritKind::Enter),
+            Step::crit(p(1), CritKind::Enter),
+        ]);
+        assert!(e.well_formed(2));
+        assert!(!e.mutual_exclusion(2));
+    }
+
+    #[test]
+    fn out_of_order_critical_steps_are_ill_formed() {
+        let e = Execution::from_steps(vec![Step::crit(p(0), CritKind::Enter)]);
+        assert!(!e.well_formed(1));
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(0), CritKind::Try),
+        ]);
+        assert!(!e.well_formed(1));
+    }
+
+    #[test]
+    fn double_passage_is_well_formed_but_not_canonical() {
+        let mut steps = passage(0);
+        steps.extend(passage(0));
+        let e = Execution::from_steps(steps);
+        assert!(e.well_formed(1));
+        assert!(!e.is_canonical(1));
+    }
+
+    #[test]
+    fn projection_filters_by_process() {
+        let mut steps = passage(0);
+        steps.extend(passage(1));
+        let e = Execution::from_steps(steps);
+        assert_eq!(e.projection(p(0)).count(), 4);
+        assert_eq!(e.projection(p(1)).count(), 4);
+        assert!(e.projection(p(0)).all(|s| s.pid() == p(0)));
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let e = Execution::from_steps(passage(0));
+        assert_eq!(e.prefix(2).len(), 2);
+        assert_eq!(e.prefix(100).len(), 4);
+    }
+
+    #[test]
+    fn type_counts_and_shared_accesses() {
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::write(p(0), RegisterId::new(0), 1),
+            Step::read(p(0), RegisterId::new(0)),
+        ]);
+        assert_eq!(e.type_counts(), (1, 1, 1));
+        assert_eq!(e.shared_accesses(), 2);
+    }
+
+    #[test]
+    fn missing_process_is_not_canonical() {
+        let e = Execution::from_steps(passage(0));
+        assert!(!e.is_canonical(2));
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::read(p(0), RegisterId::new(1)),
+        ]);
+        assert_eq!(e.to_string(), "try_0 read_0(r1)");
+    }
+}

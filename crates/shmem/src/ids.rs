@@ -1,0 +1,167 @@
+//! Identifier newtypes for processes and registers, and the register value
+//! type.
+//!
+//! The paper fixes an integer `n ≥ 1` and speaks of processes `p_1 … p_n`
+//! and a collection `L` of shared registers. We index both from zero.
+
+use std::fmt;
+
+/// The value stored in a shared register.
+///
+/// The paper allows writes from "some arbitrary fixed set `V`"; `u64` is
+/// large enough for every algorithm in this workspace (process ids,
+/// sentinels, bakery tickets, …).
+pub type Value = u64;
+
+/// Identifier of a process: index `i` of `p_i`, counted from zero.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates the identifier of the `index`-th process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("process index fits in u32"))
+    }
+
+    /// The zero-based index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` process identifiers, in index order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use exclusion_shmem::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).map(|p| p.index()).collect();
+    /// assert_eq!(all, [0, 1, 2]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId::new)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(p: ProcessId) -> usize {
+        p.index()
+    }
+}
+
+/// Identifier of a shared multi-reader multi-writer register.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::RegisterId;
+/// let r = RegisterId::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RegisterId(u32);
+
+impl RegisterId {
+    /// Creates the identifier of the `index`-th register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("register index fits in u32"))
+    }
+
+    /// The zero-based index of this register.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` register identifiers, in index order.
+    pub fn all(n: usize) -> impl Iterator<Item = RegisterId> {
+        (0..n).map(RegisterId::new)
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<RegisterId> for usize {
+    fn from(r: RegisterId) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in [0usize, 1, 17, 4096] {
+            assert_eq!(ProcessId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn register_id_roundtrip() {
+        for i in [0usize, 1, 17, 4096] {
+            assert_eq!(RegisterId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert!(RegisterId::new(0) < RegisterId::new(9));
+    }
+
+    #[test]
+    fn ids_hash_distinctly() {
+        let set: HashSet<_> = ProcessId::all(100).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(12).to_string(), "p12");
+        assert_eq!(RegisterId::new(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn all_yields_in_order() {
+        let v: Vec<_> = RegisterId::all(4).collect();
+        assert_eq!(v, vec![
+            RegisterId::new(0),
+            RegisterId::new(1),
+            RegisterId::new(2),
+            RegisterId::new(3)
+        ]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared-memory model of Fan & Lynch, *An Ω(n log n) Lower Bound on the
+//! Cost of Mutual Exclusion* (PODC 2006), Section 3.1.
+//!
+//! A *system* consists of `n` deterministic process automata communicating
+//! through multi-reader multi-writer registers. A process repeatedly asks
+//! its transition function for the next step to perform — a register read,
+//! a register write, or one of the four *critical steps* `try`, `enter`,
+//! `exit`, `rem` — and folds the observation produced by that step back
+//! into its state.
+//!
+//! This crate provides:
+//!
+//! * [`Automaton`] — the deterministic process-automaton trait; mutual
+//!   exclusion algorithms (see the `exclusion-mutex` crate) implement it;
+//! * [`System`] — a live simulation of an algorithm: process states,
+//!   register contents, and per-process section tracking;
+//! * [`Execution`] — a recorded sequence of [`Step`]s, with the
+//!   well-formedness and canonicity predicates of the paper;
+//! * [`replay()`](replay()) — deterministic re-execution of a recorded
+//!   execution with per-step validation (used by the cost models and the
+//!   lower-bound machinery);
+//! * [`sched`] — fair schedulers (round-robin, seeded random, canonical
+//!   sequential) producing executions;
+//! * [`checker`] — a small explicit-state model checker that exhaustively
+//!   verifies mutual exclusion for bounded instances of an algorithm.
+//!
+//! # Example
+//!
+//! Run two processes of a toy algorithm round-robin and inspect the trace:
+//!
+//! ```
+//! use exclusion_shmem::sched::run_round_robin;
+//! use exclusion_shmem::testing::Alternator;
+//!
+//! let alg = Alternator::new(2);
+//! let exec = run_round_robin(&alg, 1, 10_000).expect("terminates");
+//! assert!(exec.is_canonical(2));
+//! assert!(exec.mutual_exclusion(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod checker;
+pub mod error;
+pub mod execution;
+pub mod ids;
+pub mod replay;
+pub mod sched;
+pub mod step;
+pub mod system;
+pub mod testing;
+
+pub use automaton::{Automaton, NextStep, Observation, RmwOp};
+pub use error::{ReplayError, RunError};
+pub use execution::Execution;
+pub use ids::{ProcessId, RegisterId, Value};
+pub use replay::{replay, replay_collect, StepOutcome};
+pub use step::{CritKind, Step, StepType};
+pub use system::{Section, System};

@@ -1,0 +1,164 @@
+//! Deterministic re-execution of recorded executions, with validation.
+//!
+//! Replay is the bridge between the step-sequence representation of an
+//! execution and everything that depends on system states: read values,
+//! the state-change cost model, and the lower-bound machinery's
+//! consistency checks.
+
+use crate::automaton::Automaton;
+use crate::error::ReplayError;
+use crate::ids::Value;
+use crate::step::Step;
+use crate::system::System;
+
+/// What happened at one position of a replayed execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StepOutcome {
+    /// Position of the step in the execution.
+    pub index: usize,
+    /// The step itself.
+    pub step: Step,
+    /// Whether the acting process changed state — the SC-model charge
+    /// criterion for shared-memory steps.
+    pub state_changed: bool,
+    /// The value obtained, if the step was a read.
+    pub read_value: Option<Value>,
+}
+
+/// Replays `steps` against `alg` from the initial system state, invoking
+/// `sink` for every step, and returns the final system.
+///
+/// Every step is validated against the automaton's transition function:
+/// a recorded execution either replays exactly or was not produced by the
+/// automaton.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] identifying the first divergent step.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::{replay, ProcessId};
+/// use exclusion_shmem::sched::run_round_robin;
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(2);
+/// let exec = run_round_robin(&alg, 1, 10_000).unwrap();
+/// let mut sc_cost = 0;
+/// let sys = replay(&alg, exec.steps(), |o| {
+///     if o.step.is_shared_access() && o.state_changed {
+///         sc_cost += 1;
+///     }
+/// })
+/// .unwrap();
+/// assert!(sc_cost > 0);
+/// assert_eq!(sys.passages(ProcessId::new(0)), 1);
+/// ```
+pub fn replay<'a, A, F>(
+    alg: &'a A,
+    steps: &[Step],
+    mut sink: F,
+) -> Result<System<'a, A>, ReplayError>
+where
+    A: Automaton,
+    F: FnMut(StepOutcome),
+{
+    let mut sys = System::new(alg);
+    for (index, &step) in steps.iter().enumerate() {
+        let done = sys.execute_expected(step).map_err(|e| at(e, index))?;
+        sink(StepOutcome {
+            index,
+            step: done.step,
+            state_changed: done.state_changed,
+            read_value: done.read_value,
+        });
+    }
+    Ok(sys)
+}
+
+/// Replays `steps` and collects every [`StepOutcome`].
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] identifying the first divergent step.
+pub fn replay_collect<A: Automaton>(
+    alg: &A,
+    steps: &[Step],
+) -> Result<Vec<StepOutcome>, ReplayError> {
+    let mut out = Vec::with_capacity(steps.len());
+    replay(alg, steps, |o| out.push(o))?;
+    Ok(out)
+}
+
+fn at(e: ReplayError, index: usize) -> ReplayError {
+    match e {
+        ReplayError::InvalidProcess { pid, processes, .. } => ReplayError::InvalidProcess {
+            index,
+            pid,
+            processes,
+        },
+        ReplayError::Mismatch {
+            expected, found, ..
+        } => ReplayError::Mismatch {
+            index,
+            expected,
+            found,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ProcessId, RegisterId};
+    use crate::sched::run_round_robin;
+    use crate::step::CritKind;
+    use crate::testing::Alternator;
+
+    #[test]
+    fn replay_matches_recording() {
+        let alg = Alternator::new(3);
+        let exec = run_round_robin(&alg, 1, 10_000).unwrap();
+        let outcomes = replay_collect(&alg, exec.steps()).unwrap();
+        assert_eq!(outcomes.len(), exec.len());
+        for (o, s) in outcomes.iter().zip(exec.steps()) {
+            assert_eq!(o.step, *s);
+        }
+    }
+
+    #[test]
+    fn replay_reports_divergence_position() {
+        let alg = Alternator::new(2);
+        let p0 = ProcessId::new(0);
+        let steps = vec![
+            Step::crit(p0, CritKind::Try),
+            Step::write(p0, RegisterId::new(0), 9), // alternator reads here
+        ];
+        let err = replay(&alg, &steps, |_| {}).unwrap_err();
+        match err {
+            ReplayError::Mismatch { index, .. } => assert_eq!(index, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_recovers_read_values() {
+        let alg = Alternator::new(2);
+        let exec = run_round_robin(&alg, 1, 10_000).unwrap();
+        let outcomes = replay_collect(&alg, exec.steps()).unwrap();
+        for o in outcomes {
+            match o.step {
+                Step::Read { .. } => assert!(o.read_value.is_some()),
+                _ => assert!(o.read_value.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_empty_execution() {
+        let alg = Alternator::new(2);
+        let sys = replay(&alg, &[], |_| panic!("no steps")).unwrap();
+        assert_eq!(sys.passages(ProcessId::new(0)), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Schedulers: drivers that pick which process steps next and record the
+//! resulting execution.
+//!
+//! All schedulers here are *fair* in the paper's sense (every process that
+//! is not in its remainder section keeps being scheduled), so for a
+//! livelock-free algorithm every run terminates; the step budget guards
+//! against algorithms that are not.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::automaton::Automaton;
+use crate::error::RunError;
+use crate::execution::Execution;
+use crate::ids::ProcessId;
+use crate::system::System;
+
+/// Runs each process of `order` to completion of one passage, one after
+/// another — the *canonical sequential* schedule. The resulting execution
+/// is canonical and its critical-section order is exactly `order`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if any single process needs more than
+/// `max_steps_per_process` steps to finish its passage (the algorithm is
+/// not livelock-free when run solo after the prefix).
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::sched::run_sequential;
+/// use exclusion_shmem::ProcessId;
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(3);
+/// let order: Vec<_> = ProcessId::all(3).collect();
+/// let exec = run_sequential(&alg, &order, 10_000).unwrap();
+/// assert!(exec.is_canonical(3));
+/// assert_eq!(exec.critical_order(), order);
+/// ```
+pub fn run_sequential<A: Automaton>(
+    alg: &A,
+    order: &[ProcessId],
+    max_steps_per_process: usize,
+) -> Result<Execution, RunError> {
+    let mut sys = System::new(alg);
+    let mut exec = Execution::new();
+    for (done, &p) in order.iter().enumerate() {
+        let target = sys.passages(p) + 1;
+        let mut budget = max_steps_per_process;
+        while sys.passages(p) < target {
+            if budget == 0 {
+                return Err(RunError {
+                    limit: max_steps_per_process,
+                    completed: done,
+                    processes: alg.processes(),
+                });
+            }
+            budget -= 1;
+            exec.push(sys.step(p).step);
+        }
+    }
+    Ok(exec)
+}
+
+/// Runs all processes round-robin, each until it has completed `passages`
+/// passages.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the run does not finish within `max_steps`.
+pub fn run_round_robin<A: Automaton>(
+    alg: &A,
+    passages: usize,
+    max_steps: usize,
+) -> Result<Execution, RunError> {
+    let n = alg.processes();
+    let mut next = 0usize;
+    run_with(alg, max_steps, move |sys| {
+        for _ in 0..n {
+            let p = ProcessId::new(next);
+            next = (next + 1) % n;
+            if sys.passages(p) < passages {
+                return Some(p);
+            }
+        }
+        None
+    })
+}
+
+/// Runs all processes under a uniformly random (seeded) fair schedule,
+/// each until it has completed `passages` passages.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the run does not finish within `max_steps`.
+pub fn run_random<A: Automaton>(
+    alg: &A,
+    passages: usize,
+    max_steps: usize,
+    seed: u64,
+) -> Result<Execution, RunError> {
+    let n = alg.processes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    run_with(alg, max_steps, move |sys| {
+        let live: Vec<ProcessId> = ProcessId::all(n)
+            .filter(|&p| sys.passages(p) < passages)
+            .collect();
+        if live.is_empty() {
+            None
+        } else {
+            Some(live[rng.random_range(0..live.len())])
+        }
+    })
+}
+
+/// Generic scheduling driver: repeatedly asks `pick` for the next process
+/// to step; stops (successfully) when `pick` returns `None`.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if `pick` keeps returning processes past
+/// `max_steps`.
+pub fn run_with<A, F>(alg: &A, max_steps: usize, mut pick: F) -> Result<Execution, RunError>
+where
+    A: Automaton,
+    F: FnMut(&System<'_, A>) -> Option<ProcessId>,
+{
+    let mut sys = System::new(alg);
+    let mut exec = Execution::new();
+    for _ in 0..max_steps {
+        match pick(&sys) {
+            None => return Ok(exec),
+            Some(p) => {
+                exec.push(sys.step(p).step);
+            }
+        }
+    }
+    if pick(&sys).is_none() {
+        return Ok(exec);
+    }
+    let completed = ProcessId::all(alg.processes())
+        .filter(|&p| sys.passages(p) > 0)
+        .count();
+    Err(RunError {
+        limit: max_steps,
+        completed,
+        processes: alg.processes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::Alternator;
+
+    #[test]
+    fn sequential_is_canonical_in_any_order() {
+        let alg = Alternator::new(4);
+        // Alternator hands the token around in index order, so only the
+        // identity order terminates when run sequentially; use it here.
+        let order: Vec<_> = ProcessId::all(4).collect();
+        let exec = run_sequential(&alg, &order, 1000).unwrap();
+        assert!(exec.is_canonical(4));
+        assert_eq!(exec.critical_order(), order);
+    }
+
+    #[test]
+    fn sequential_detects_stuck_process() {
+        let alg = Alternator::new(2);
+        // p1 cannot enter before p0 hands over the token.
+        let order = [ProcessId::new(1), ProcessId::new(0)];
+        let err = run_sequential(&alg, &order, 100).unwrap_err();
+        assert_eq!(err.completed, 0);
+    }
+
+    #[test]
+    fn round_robin_completes_multiple_passages() {
+        let alg = Alternator::new(3);
+        let exec = run_round_robin(&alg, 2, 100_000).unwrap();
+        assert!(exec.well_formed(3));
+        assert!(exec.mutual_exclusion(3));
+        assert_eq!(exec.critical_order().len(), 6);
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible() {
+        let alg = Alternator::new(3);
+        let a = run_random(&alg, 1, 100_000, 42).unwrap();
+        let b = run_random(&alg, 1, 100_000, 42).unwrap();
+        let c = run_random(&alg, 1, 100_000, 43).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_canonical(3));
+        assert!(c.is_canonical(3));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let alg = Alternator::new(2);
+        let err = run_round_robin(&alg, 1, 3).unwrap_err();
+        assert_eq!(err.limit, 3);
+    }
+}

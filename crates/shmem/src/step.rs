@@ -1,0 +1,289 @@
+//! Process steps: register reads, register writes, and critical steps.
+//!
+//! An execution in the paper is an alternating sequence of system states
+//! and steps; because both the processes and the registers are
+//! deterministic, the sequence of steps alone identifies the execution
+//! (paper, Section 3.1), and that is how this workspace represents them.
+
+use std::fmt;
+
+use crate::automaton::RmwOp;
+use crate::ids::{ProcessId, RegisterId, Value};
+
+/// The four critical steps `try_i`, `enter_i`, `exit_i` and `rem_i` that
+/// delimit a process's trying, critical, exit and remainder sections.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CritKind {
+    /// `try_i`: the process leaves its remainder section and starts
+    /// competing for the critical section.
+    Try,
+    /// `enter_i`: the process enters the critical section.
+    Enter,
+    /// `exit_i`: the process leaves the critical section and starts its
+    /// exit protocol.
+    Exit,
+    /// `rem_i`: the process returns to its remainder section.
+    Rem,
+}
+
+impl CritKind {
+    /// The critical step that follows `self` in the well-formed cycle
+    /// `try → enter → exit → rem → try → …`.
+    #[must_use]
+    pub fn successor(self) -> CritKind {
+        match self {
+            CritKind::Try => CritKind::Enter,
+            CritKind::Enter => CritKind::Exit,
+            CritKind::Exit => CritKind::Rem,
+            CritKind::Rem => CritKind::Try,
+        }
+    }
+}
+
+impl fmt::Display for CritKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CritKind::Try => "try",
+            CritKind::Enter => "enter",
+            CritKind::Exit => "exit",
+            CritKind::Rem => "rem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The coarse classification `type(e) ∈ {R, W, C}` of a step used
+/// throughout the paper, extended with `RMW` for the simulator-only
+/// read-modify-write steps.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StepType {
+    /// A register read.
+    Read,
+    /// A register write.
+    Write,
+    /// An atomic read-modify-write (simulator extension).
+    Rmw,
+    /// A critical step.
+    Crit,
+}
+
+impl fmt::Display for StepType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StepType::Read => "R",
+            StepType::Write => "W",
+            StepType::Rmw => "RMW",
+            StepType::Crit => "C",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One step of one process.
+///
+/// `Read` does not record the value obtained: the value is a function of
+/// the step's position in the execution and is recovered by [`replay`].
+///
+/// [`replay`]: crate::replay::replay
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::{CritKind, ProcessId, RegisterId, Step, StepType};
+/// let w = Step::write(ProcessId::new(0), RegisterId::new(2), 7);
+/// assert_eq!(w.step_type(), StepType::Write);
+/// assert_eq!(w.register(), Some(RegisterId::new(2)));
+/// assert_eq!(w.value(), Some(7));
+/// let c = Step::crit(ProcessId::new(1), CritKind::Enter);
+/// assert_eq!(c.step_type(), StepType::Crit);
+/// assert_eq!(c.register(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Step {
+    /// `read_i(ℓ)`: process `pid` reads register `reg`.
+    Read {
+        /// The reading process (`own(e)` in the paper).
+        pid: ProcessId,
+        /// The register accessed.
+        reg: RegisterId,
+    },
+    /// `write_i(ℓ, v)`: process `pid` writes `value` to register `reg`.
+    Write {
+        /// The writing process (`own(e)` in the paper).
+        pid: ProcessId,
+        /// The register accessed.
+        reg: RegisterId,
+        /// The value written (`val(e)` in the paper).
+        value: Value,
+    },
+    /// An atomic read-modify-write by `pid` on `reg` (simulator
+    /// extension; rejected by the lower-bound construction).
+    Rmw {
+        /// The acting process.
+        pid: ProcessId,
+        /// The register accessed.
+        reg: RegisterId,
+        /// The operation applied.
+        op: RmwOp,
+    },
+    /// A critical step of `pid`.
+    Crit {
+        /// The process performing the critical step.
+        pid: ProcessId,
+        /// Which of the four critical steps this is.
+        kind: CritKind,
+    },
+}
+
+impl Step {
+    /// Convenience constructor for a read step.
+    #[must_use]
+    pub fn read(pid: ProcessId, reg: RegisterId) -> Self {
+        Step::Read { pid, reg }
+    }
+
+    /// Convenience constructor for a write step.
+    #[must_use]
+    pub fn write(pid: ProcessId, reg: RegisterId, value: Value) -> Self {
+        Step::Write { pid, reg, value }
+    }
+
+    /// Convenience constructor for a critical step.
+    #[must_use]
+    pub fn crit(pid: ProcessId, kind: CritKind) -> Self {
+        Step::Crit { pid, kind }
+    }
+
+    /// Convenience constructor for a read-modify-write step.
+    #[must_use]
+    pub fn rmw(pid: ProcessId, reg: RegisterId, op: RmwOp) -> Self {
+        Step::Rmw { pid, reg, op }
+    }
+
+    /// The process performing this step (`own(e)`).
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        match *self {
+            Step::Read { pid, .. }
+            | Step::Write { pid, .. }
+            | Step::Rmw { pid, .. }
+            | Step::Crit { pid, .. } => pid,
+        }
+    }
+
+    /// The classification `type(e) ∈ {R, W, C}`.
+    #[must_use]
+    pub fn step_type(&self) -> StepType {
+        match self {
+            Step::Read { .. } => StepType::Read,
+            Step::Write { .. } => StepType::Write,
+            Step::Rmw { .. } => StepType::Rmw,
+            Step::Crit { .. } => StepType::Crit,
+        }
+    }
+
+    /// The register accessed, if this is a shared-memory step.
+    #[must_use]
+    pub fn register(&self) -> Option<RegisterId> {
+        match *self {
+            Step::Read { reg, .. } | Step::Write { reg, .. } | Step::Rmw { reg, .. } => Some(reg),
+            Step::Crit { .. } => None,
+        }
+    }
+
+    /// The value written, if this is a write step (`val(e)`).
+    #[must_use]
+    pub fn value(&self) -> Option<Value> {
+        match *self {
+            Step::Write { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The critical-step kind, if this is a critical step.
+    #[must_use]
+    pub fn crit_kind(&self) -> Option<CritKind> {
+        match *self {
+            Step::Crit { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Whether this step accesses shared memory (is a read or a write).
+    #[must_use]
+    pub fn is_shared_access(&self) -> bool {
+        !matches!(self, Step::Crit { .. })
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Step::Read { pid, reg } => write!(f, "read_{}({})", pid.index(), reg),
+            Step::Write { pid, reg, value } => {
+                write!(f, "write_{}({}, {})", pid.index(), reg, value)
+            }
+            Step::Rmw { pid, reg, op } => write!(f, "rmw_{}({}, {:?})", pid.index(), reg, op),
+            Step::Crit { pid, kind } => write!(f, "{}_{}", kind, pid.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn r(i: usize) -> RegisterId {
+        RegisterId::new(i)
+    }
+
+    #[test]
+    fn crit_cycle_is_well_formed_order() {
+        assert_eq!(CritKind::Try.successor(), CritKind::Enter);
+        assert_eq!(CritKind::Enter.successor(), CritKind::Exit);
+        assert_eq!(CritKind::Exit.successor(), CritKind::Rem);
+        assert_eq!(CritKind::Rem.successor(), CritKind::Try);
+    }
+
+    #[test]
+    fn step_accessors() {
+        let s = Step::read(p(4), r(1));
+        assert_eq!(s.pid(), p(4));
+        assert_eq!(s.step_type(), StepType::Read);
+        assert_eq!(s.register(), Some(r(1)));
+        assert_eq!(s.value(), None);
+        assert_eq!(s.crit_kind(), None);
+        assert!(s.is_shared_access());
+
+        let s = Step::write(p(0), r(9), 42);
+        assert_eq!(s.step_type(), StepType::Write);
+        assert_eq!(s.value(), Some(42));
+        assert!(s.is_shared_access());
+
+        let s = Step::crit(p(2), CritKind::Rem);
+        assert_eq!(s.step_type(), StepType::Crit);
+        assert_eq!(s.register(), None);
+        assert_eq!(s.crit_kind(), Some(CritKind::Rem));
+        assert!(!s.is_shared_access());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Step::read(p(1), r(2)).to_string(), "read_1(r2)");
+        assert_eq!(Step::write(p(0), r(3), 5).to_string(), "write_0(r3, 5)");
+        assert_eq!(Step::crit(p(7), CritKind::Try).to_string(), "try_7");
+    }
+
+    #[test]
+    fn step_equality_distinguishes_fields() {
+        assert_ne!(Step::read(p(0), r(1)), Step::read(p(0), r(2)));
+        assert_ne!(Step::write(p(0), r(1), 1), Step::write(p(0), r(1), 2));
+        assert_ne!(
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(0), CritKind::Enter)
+        );
+    }
+}

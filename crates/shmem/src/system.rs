@@ -1,0 +1,415 @@
+//! A live simulation of an algorithm: process states, register contents,
+//! and per-process section tracking.
+
+use std::fmt;
+
+use crate::automaton::{Automaton, NextStep, Observation};
+use crate::error::ReplayError;
+use crate::ids::{ProcessId, RegisterId, Value};
+use crate::step::{CritKind, Step};
+
+/// Which of the four sections a process is currently in, per the paper's
+/// well-formedness condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Section {
+    /// No critical step yet, or the last one was `rem`.
+    #[default]
+    Remainder,
+    /// Last critical step was `try`.
+    Trying,
+    /// Last critical step was `enter`.
+    Critical,
+    /// Last critical step was `exit`.
+    Exit,
+}
+
+impl Section {
+    /// The section reached by performing the given critical step.
+    ///
+    /// Returns `None` when the step is not permitted in this section
+    /// (violating well-formedness).
+    #[must_use]
+    pub fn after(self, kind: CritKind) -> Option<Section> {
+        match (self, kind) {
+            (Section::Remainder, CritKind::Try) => Some(Section::Trying),
+            (Section::Trying, CritKind::Enter) => Some(Section::Critical),
+            (Section::Critical, CritKind::Exit) => Some(Section::Exit),
+            (Section::Exit, CritKind::Rem) => Some(Section::Remainder),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Section::Remainder => "remainder",
+            Section::Trying => "trying",
+            Section::Critical => "critical",
+            Section::Exit => "exit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome of executing one step on a [`System`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Executed {
+    /// The step that was executed.
+    pub step: Step,
+    /// Whether the acting process's state changed — the unit of cost in
+    /// the state-change model (Definition 3.1) when the step accesses
+    /// shared memory.
+    pub state_changed: bool,
+    /// The value obtained, if the step was a read.
+    pub read_value: Option<Value>,
+}
+
+/// A running instance of an algorithm: all process states, all register
+/// values, and bookkeeping (sections and completed passages).
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::{ProcessId, Section, System};
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(2);
+/// let mut sys = System::new(&alg);
+/// let p0 = ProcessId::new(0);
+/// // Drive p0 through one full passage.
+/// while sys.passages(p0) == 0 {
+///     sys.step(p0);
+/// }
+/// assert_eq!(sys.section(p0), Section::Remainder);
+/// ```
+pub struct System<'a, A: Automaton> {
+    alg: &'a A,
+    states: Vec<A::State>,
+    regs: Vec<Value>,
+    sections: Vec<Section>,
+    passages: Vec<usize>,
+}
+
+impl<'a, A: Automaton> System<'a, A> {
+    /// Creates a system in the default initial state `s0`: every process
+    /// in its initial state, every register at its initial value.
+    #[must_use]
+    pub fn new(alg: &'a A) -> Self {
+        let n = alg.processes();
+        let states = ProcessId::all(n).map(|p| alg.initial_state(p)).collect();
+        let regs = RegisterId::all(alg.registers())
+            .map(|r| alg.initial_value(r))
+            .collect();
+        System {
+            alg,
+            states,
+            regs,
+            sections: vec![Section::Remainder; n],
+            passages: vec![0; n],
+        }
+    }
+
+    /// The algorithm this system runs.
+    #[must_use]
+    pub fn algorithm(&self) -> &'a A {
+        self.alg
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Current state of a process.
+    #[must_use]
+    pub fn state(&self, pid: ProcessId) -> &A::State {
+        &self.states[pid.index()]
+    }
+
+    /// Current value of a register.
+    #[must_use]
+    pub fn register(&self, reg: RegisterId) -> Value {
+        self.regs[reg.index()]
+    }
+
+    /// All register values, indexed by register.
+    #[must_use]
+    pub fn registers(&self) -> &[Value] {
+        &self.regs
+    }
+
+    /// Current section of a process.
+    #[must_use]
+    pub fn section(&self, pid: ProcessId) -> Section {
+        self.sections[pid.index()]
+    }
+
+    /// How many complete passages (ending in `rem`) a process has made.
+    #[must_use]
+    pub fn passages(&self, pid: ProcessId) -> usize {
+        self.passages[pid.index()]
+    }
+
+    /// Processes currently in their critical section.
+    pub fn in_critical(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Section::Critical)
+            .map(|(i, _)| ProcessId::new(i))
+    }
+
+    /// The step process `pid` will perform next (δ applied to its state).
+    #[must_use]
+    pub fn peek(&self, pid: ProcessId) -> NextStep {
+        self.alg.next_step(pid, self.state(pid))
+    }
+
+    /// Whether `pid`'s state would change if it read `value` right now —
+    /// the `SC` predicate of the paper's Figure 1, evaluated against this
+    /// system's current state of `pid`.
+    ///
+    /// Meaningful when `pid`'s next step is a read; callers are expected
+    /// to check that first.
+    #[must_use]
+    pub fn read_changes_state(&self, pid: ProcessId, value: Value) -> bool {
+        let s = self.state(pid);
+        self.alg.observe(pid, s, Observation::Read(value)) != *s
+    }
+
+    /// Executes the next step of `pid` and returns what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the automaton requests a critical step that violates
+    /// well-formedness or accesses an out-of-range register — both are
+    /// bugs in the algorithm under simulation, not runtime conditions.
+    pub fn step(&mut self, pid: ProcessId) -> Executed {
+        let next = self.peek(pid);
+        self.apply(pid, next)
+    }
+
+    /// Executes `step` for its named process if (and only if) it is
+    /// exactly what the automaton would perform; used by replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Mismatch`] when the recorded step diverges
+    /// from the automaton, [`ReplayError::InvalidProcess`] when it names a
+    /// process that does not exist. The `index` in the error is `0`;
+    /// callers add their own position information.
+    pub fn execute_expected(&mut self, step: Step) -> Result<Executed, ReplayError> {
+        let pid = step.pid();
+        if pid.index() >= self.processes() {
+            return Err(ReplayError::InvalidProcess {
+                index: 0,
+                pid,
+                processes: self.processes(),
+            });
+        }
+        let next = self.peek(pid);
+        let matches = match (next, step) {
+            (NextStep::Read(r), Step::Read { reg, .. }) => r == reg,
+            (NextStep::Write(r, v), Step::Write { reg, value, .. }) => r == reg && v == value,
+            (NextStep::Rmw(r, o), Step::Rmw { reg, op, .. }) => r == reg && o == op,
+            (NextStep::Crit(k), Step::Crit { kind, .. }) => k == kind,
+            _ => false,
+        };
+        if !matches {
+            return Err(ReplayError::Mismatch {
+                index: 0,
+                expected: next,
+                found: step,
+            });
+        }
+        Ok(self.apply(pid, next))
+    }
+
+    fn apply(&mut self, pid: ProcessId, next: NextStep) -> Executed {
+        let i = pid.index();
+        let (step, obs, read_value) = match next {
+            NextStep::Read(reg) => {
+                let v = self.regs[reg.index()];
+                (Step::read(pid, reg), Observation::Read(v), Some(v))
+            }
+            NextStep::Write(reg, value) => {
+                self.regs[reg.index()] = value;
+                (Step::write(pid, reg, value), Observation::Write, None)
+            }
+            NextStep::Rmw(reg, op) => {
+                let old = self.regs[reg.index()];
+                self.regs[reg.index()] = op.apply(old);
+                (Step::rmw(pid, reg, op), Observation::Rmw(old), Some(old))
+            }
+            NextStep::Crit(kind) => {
+                let sect = self.sections[i]
+                    .after(kind)
+                    .unwrap_or_else(|| panic!("{pid} performed {kind} in {} section", self.sections[i]));
+                self.sections[i] = sect;
+                if kind == CritKind::Rem {
+                    self.passages[i] += 1;
+                }
+                (Step::crit(pid, kind), Observation::Crit, None)
+            }
+        };
+        let old = &self.states[i];
+        let new = self.alg.observe(pid, old, obs);
+        let state_changed = new != *old;
+        self.states[i] = new;
+        Executed {
+            step,
+            state_changed,
+            read_value,
+        }
+    }
+}
+
+// Manual impl: `A` itself need not be `Clone` (it is only borrowed).
+impl<A: Automaton> Clone for System<'_, A> {
+    fn clone(&self) -> Self {
+        System {
+            alg: self.alg,
+            states: self.states.clone(),
+            regs: self.regs.clone(),
+            sections: self.sections.clone(),
+            passages: self.passages.clone(),
+        }
+    }
+}
+
+impl<A: Automaton> fmt::Debug for System<'_, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("states", &self.states)
+            .field("regs", &self.regs)
+            .field("sections", &self.sections)
+            .field("passages", &self.passages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{Alternator, NoLock};
+
+    #[test]
+    fn section_transitions_follow_cycle() {
+        assert_eq!(
+            Section::Remainder.after(CritKind::Try),
+            Some(Section::Trying)
+        );
+        assert_eq!(
+            Section::Trying.after(CritKind::Enter),
+            Some(Section::Critical)
+        );
+        assert_eq!(Section::Critical.after(CritKind::Exit), Some(Section::Exit));
+        assert_eq!(Section::Exit.after(CritKind::Rem), Some(Section::Remainder));
+        assert_eq!(Section::Remainder.after(CritKind::Enter), None);
+        assert_eq!(Section::Critical.after(CritKind::Try), None);
+    }
+
+    #[test]
+    fn alternator_single_passage() {
+        let alg = Alternator::new(3);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        let mut steps = Vec::new();
+        while sys.passages(p0) == 0 {
+            steps.push(sys.step(p0).step);
+        }
+        // try, read(turn), enter, exit, write(turn), rem
+        assert_eq!(steps.len(), 6);
+        assert_eq!(steps[0], Step::crit(p0, CritKind::Try));
+        assert_eq!(steps[5], Step::crit(p0, CritKind::Rem));
+        assert_eq!(sys.register(RegisterId::new(0)), 1);
+    }
+
+    #[test]
+    fn busywait_read_does_not_change_state() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p1 = ProcessId::new(1);
+        sys.step(p1); // try
+        let spin = sys.step(p1); // read turn = 0, but p1 waits for 1
+        assert!(!spin.state_changed);
+        assert_eq!(spin.read_value, Some(0));
+        // SC predicate: reading 1 would change p1's state, reading 0 not.
+        assert!(sys.read_changes_state(p1, 1));
+        assert!(!sys.read_changes_state(p1, 0));
+    }
+
+    #[test]
+    fn execute_expected_accepts_matching_step() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        let done = sys
+            .execute_expected(Step::crit(p0, CritKind::Try))
+            .expect("try matches");
+        assert!(done.state_changed);
+    }
+
+    #[test]
+    fn execute_expected_rejects_divergence() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        let err = sys
+            .execute_expected(Step::read(p0, RegisterId::new(0)))
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn execute_expected_rejects_unknown_process() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let ghost = ProcessId::new(9);
+        let err = sys
+            .execute_expected(Step::crit(ghost, CritKind::Try))
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::InvalidProcess { .. }));
+    }
+
+    #[test]
+    fn no_lock_lets_two_processes_into_critical() {
+        let alg = NoLock::new(2);
+        let mut sys = System::new(&alg);
+        for p in ProcessId::all(2) {
+            sys.step(p); // try
+            sys.step(p); // enter
+        }
+        assert_eq!(sys.in_critical().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "performed")]
+    fn malformed_critical_step_panics() {
+        use crate::automaton::{NextStep, Observation};
+        struct Bad;
+        impl Automaton for Bad {
+            type State = u8;
+            fn processes(&self) -> usize {
+                1
+            }
+            fn registers(&self) -> usize {
+                0
+            }
+            fn initial_state(&self, _p: ProcessId) -> u8 {
+                0
+            }
+            fn next_step(&self, _p: ProcessId, _s: &u8) -> NextStep {
+                NextStep::Crit(CritKind::Enter) // enter without try
+            }
+            fn observe(&self, _p: ProcessId, s: &u8, _o: Observation) -> u8 {
+                s + 1
+            }
+        }
+        let alg = Bad;
+        let mut sys = System::new(&alg);
+        sys.step(ProcessId::new(0));
+    }
+}

@@ -1,0 +1,125 @@
+//! The hardware twin of the simulated `DekkerTournament`: a
+//! register-only tournament whose busy-waits each read a single
+//! location.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::tree::{hop, levels, nodes};
+use crate::wait::Spinner;
+use crate::RawLock;
+
+/// A Dekker-element tournament lock on `SeqCst` atomics.
+///
+/// Identical protocol to the simulated
+/// [`DekkerTournament`](../exclusion_mutex/struct.DekkerTournament.html)
+/// whose safety is exhaustively model-checked in `exclusion-mutex`; the
+/// hardware version inherits the design: the tie-break loser lowers its
+/// flag and spins on `turn` alone, the holder spins on the rival's flag
+/// alone, so each wait touches one cache line.
+#[derive(Debug)]
+pub struct DekkerTreeLock {
+    /// Per node: `flag0, flag1, turn`, flattened.
+    regs: Vec<AtomicUsize>,
+    threads: usize,
+}
+
+const FLAG0: usize = 0;
+const FLAG1: usize = 1;
+const TURN: usize = 2;
+
+impl DekkerTreeLock {
+    /// A lock for up to `threads` threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let regs = (0..nodes(threads).max(1) * 3)
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        DekkerTreeLock { regs, threads }
+    }
+
+    fn reg(&self, node: usize, which: usize) -> &AtomicUsize {
+        &self.regs[(node - 1) * 3 + which]
+    }
+
+    fn flag(&self, node: usize, side: u8) -> &AtomicUsize {
+        self.reg(node, if side == 0 { FLAG0 } else { FLAG1 })
+    }
+
+    fn enter_node(&self, node: usize, side: u8) {
+        let me = side as usize;
+        self.flag(node, side).store(1, Ordering::SeqCst);
+        if self.flag(node, 1 - side).load(Ordering::SeqCst) == 0 {
+            return; // rival absent
+        }
+        if self.reg(node, TURN).load(Ordering::SeqCst) != me {
+            // Lost the tie-break: back off and wait for the handoff
+            // (single-location spin on `turn`).
+            self.flag(node, side).store(0, Ordering::SeqCst);
+            let mut spin = Spinner::new();
+            while self.reg(node, TURN).load(Ordering::SeqCst) != me {
+                spin.wait();
+            }
+            self.flag(node, side).store(1, Ordering::SeqCst);
+        }
+        // Hold the tie-break: wait for the rival to back off or leave
+        // (single-location spin on its flag).
+        let mut spin = Spinner::new();
+        while self.flag(node, 1 - side).load(Ordering::SeqCst) == 1 {
+            spin.wait();
+        }
+    }
+
+    fn exit_node(&self, node: usize, side: u8) {
+        self.reg(node, TURN)
+            .store(1 - side as usize, Ordering::SeqCst);
+        self.flag(node, side).store(0, Ordering::SeqCst);
+    }
+}
+
+impl RawLock for DekkerTreeLock {
+    fn lock(&self, tid: usize) {
+        for level in 0..levels(self.threads) {
+            let (node, side) = hop(self.threads, tid, level);
+            self.enter_node(node, side);
+        }
+    }
+
+    fn unlock(&self, tid: usize) {
+        for level in (0..levels(self.threads)).rev() {
+            let (node, side) = hop(self.threads, tid, level);
+            self.exit_node(node, side);
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn name(&self) -> &'static str {
+        "dekker-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::torture;
+
+    #[test]
+    fn dekker_tree_excludes() {
+        for threads in [2, 3, 4] {
+            let lock = DekkerTreeLock::new(threads);
+            let r = torture(&lock, threads, 2_000);
+            assert_eq!(r.violations, 0, "threads = {threads}");
+            assert_eq!(r.counter, (threads * 2_000) as u64);
+        }
+    }
+
+    #[test]
+    fn long_two_thread_duel() {
+        let lock = DekkerTreeLock::new(2);
+        let r = torture(&lock, 2, 20_000);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.counter, 40_000);
+    }
+}

@@ -1,0 +1,148 @@
+//! A contention torture harness for [`RawLock`] implementations.
+//!
+//! Two independent violation detectors run inside the critical section:
+//!
+//! * an occupancy counter incremented on entry and decremented on exit —
+//!   any observation of occupancy ≥ 2 is a violation;
+//! * a deliberately non-atomic read-modify-write of a shared counter
+//!   (load, then store of the incremented value): if mutual exclusion
+//!   ever fails, increments are lost and the final count falls short of
+//!   `threads × iterations`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::RawLock;
+
+/// The outcome of a torture run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TortureReport {
+    /// Times a thread observed another thread inside the critical
+    /// section.
+    pub violations: usize,
+    /// Final value of the lock-protected counter; equals
+    /// `threads × iterations` iff no increment was lost.
+    pub counter: u64,
+}
+
+/// Runs `threads` threads, each locking/incrementing/unlocking
+/// `iterations` times, and reports violations.
+///
+/// # Panics
+///
+/// Panics if `threads` exceeds the lock's capacity.
+pub fn torture<L: RawLock + ?Sized>(lock: &L, threads: usize, iterations: usize) -> TortureReport {
+    assert!(
+        threads <= lock.threads(),
+        "lock sized for {} threads, {} requested",
+        lock.threads(),
+        threads
+    );
+    let occupancy = AtomicUsize::new(0);
+    let violations = AtomicUsize::new(0);
+    let counter = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let (occupancy, violations, counter) = (&occupancy, &violations, &counter);
+            scope.spawn(move || {
+                for _ in 0..iterations {
+                    lock.lock(tid);
+                    if occupancy.fetch_add(1, Ordering::SeqCst) != 0 {
+                        violations.fetch_add(1, Ordering::SeqCst);
+                    }
+                    // Non-atomic increment: load, then store. Lost
+                    // updates reveal exclusion failures.
+                    let c = counter.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    counter.store(c + 1, Ordering::Relaxed);
+                    occupancy.fetch_sub(1, Ordering::SeqCst);
+                    lock.unlock(tid);
+                }
+            });
+        }
+    });
+    TortureReport {
+        violations: violations.load(Ordering::SeqCst),
+        counter: counter.load(Ordering::SeqCst),
+    }
+}
+
+/// Every lock in the crate, instantiated for `threads` threads, in a
+/// stable report order.
+#[must_use]
+pub fn all_locks(threads: usize) -> Vec<Box<dyn RawLock>> {
+    vec![
+        Box::new(crate::TasLock::new(threads)),
+        Box::new(crate::TtasLock::new(threads)),
+        Box::new(crate::TicketLock::new(threads)),
+        Box::new(crate::ClhLock::new(threads)),
+        Box::new(crate::McsLock::new(threads)),
+        Box::new(crate::PetersonTreeLock::new(threads)),
+        Box::new(crate::DekkerTreeLock::new(threads)),
+    ]
+}
+
+/// A broken "lock" that does nothing — validates that the harness
+/// actually detects violations.
+#[derive(Debug)]
+pub struct NoOpLock {
+    threads: usize,
+}
+
+impl NoOpLock {
+    /// A non-lock for `threads` threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        NoOpLock { threads }
+    }
+}
+
+impl RawLock for NoOpLock {
+    fn lock(&self, _tid: usize) {}
+    fn unlock(&self, _tid: usize) {}
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn name(&self) -> &'static str {
+        "no-op"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_lock_is_caught() {
+        // With real parallelism the no-op lock must lose updates or
+        // trip the occupancy detector; retry a few times to make the
+        // race overwhelmingly likely even on loaded CI machines.
+        let lock = NoOpLock::new(4);
+        let mut caught = false;
+        for _ in 0..50 {
+            let r = torture(&lock, 4, 20_000);
+            if r.violations > 0 || r.counter < 80_000 {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "harness failed to detect a no-op lock");
+    }
+
+    #[test]
+    fn all_locks_lists_seven() {
+        let locks = all_locks(2);
+        assert_eq!(locks.len(), 7);
+        let names: Vec<_> = locks.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            names,
+            ["tas", "ttas", "ticket", "clh", "mcs", "peterson-tree", "dekker-tree"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for")]
+    fn oversubscription_panics() {
+        let lock = crate::TicketLock::new(2);
+        let _ = torture(&lock, 3, 1);
+    }
+}

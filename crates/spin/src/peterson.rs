@@ -1,0 +1,99 @@
+//! A register-only Peterson tournament lock on real atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::tree::{hop, levels, nodes};
+use crate::wait::Spinner;
+use crate::RawLock;
+
+/// Peterson's two-process algorithm at every node of an arbitration
+/// tree, on `SeqCst` atomics (Peterson requires sequential consistency).
+///
+/// Uses only reads and writes — no read-modify-write instructions — so
+/// it is the hardware counterpart of the paper's register-only model.
+/// The waiting loop reads two locations alternately; under contention
+/// this generates coherence traffic on both, which is what experiment E9
+/// measures against the queue locks.
+#[derive(Debug)]
+pub struct PetersonTreeLock {
+    /// Per node: `flag0, flag1, turn`, flattened.
+    regs: Vec<AtomicUsize>,
+    threads: usize,
+}
+
+const FLAG0: usize = 0;
+const FLAG1: usize = 1;
+const TURN: usize = 2;
+
+impl PetersonTreeLock {
+    /// A lock for up to `threads` threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let regs = (0..nodes(threads).max(1) * 3)
+            .map(|_| AtomicUsize::new(0))
+            .collect();
+        PetersonTreeLock { regs, threads }
+    }
+
+    fn reg(&self, node: usize, which: usize) -> &AtomicUsize {
+        &self.regs[(node - 1) * 3 + which]
+    }
+
+    fn flag(&self, node: usize, side: u8) -> &AtomicUsize {
+        self.reg(node, if side == 0 { FLAG0 } else { FLAG1 })
+    }
+}
+
+impl RawLock for PetersonTreeLock {
+    fn lock(&self, tid: usize) {
+        for level in 0..levels(self.threads) {
+            let (node, side) = hop(self.threads, tid, level);
+            self.flag(node, side).store(1, Ordering::SeqCst);
+            self.reg(node, TURN).store(side as usize, Ordering::SeqCst);
+            let mut spin = Spinner::new();
+            while self.flag(node, 1 - side).load(Ordering::SeqCst) == 1
+                && self.reg(node, TURN).load(Ordering::SeqCst) == side as usize
+            {
+                spin.wait();
+            }
+        }
+    }
+
+    fn unlock(&self, tid: usize) {
+        for level in (0..levels(self.threads)).rev() {
+            let (node, side) = hop(self.threads, tid, level);
+            self.flag(node, side).store(0, Ordering::SeqCst);
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn name(&self) -> &'static str {
+        "peterson-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::torture;
+
+    #[test]
+    fn peterson_tree_excludes() {
+        for threads in [2, 3, 4] {
+            let lock = PetersonTreeLock::new(threads);
+            let r = torture(&lock, threads, 2_000);
+            assert_eq!(r.violations, 0, "threads = {threads}");
+            assert_eq!(r.counter, (threads * 2_000) as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_skips_the_tree() {
+        let lock = PetersonTreeLock::new(1);
+        lock.lock(0);
+        lock.unlock(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Test-and-set and test-and-test-and-set spin locks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::wait::Spinner;
+use crate::RawLock;
+
+/// The plain test-and-set lock: spin on `swap(true)`.
+///
+/// Every spin iteration is a read-modify-write that claims the cache
+/// line exclusively, so contention produces maximal coherence traffic —
+/// the hardware analogue of an algorithm that busy-waits with writes.
+#[derive(Debug)]
+pub struct TasLock {
+    flag: AtomicBool,
+    threads: usize,
+}
+
+impl TasLock {
+    /// A lock for up to `threads` threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        TasLock {
+            flag: AtomicBool::new(false),
+            threads,
+        }
+    }
+}
+
+impl RawLock for TasLock {
+    fn lock(&self, _tid: usize) {
+        let mut spin = Spinner::new();
+        while self.flag.swap(true, Ordering::Acquire) {
+            spin.wait();
+        }
+    }
+
+    fn unlock(&self, _tid: usize) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn name(&self) -> &'static str {
+        "tas"
+    }
+}
+
+/// The test-and-test-and-set lock: spin reading until the flag looks
+/// free, then attempt the swap.
+///
+/// The read-only spin stays in the local cache until the holder's
+/// release invalidates it — the hardware counterpart of the CC model's
+/// free cached re-reads.
+#[derive(Debug)]
+pub struct TtasLock {
+    flag: AtomicBool,
+    threads: usize,
+}
+
+impl TtasLock {
+    /// A lock for up to `threads` threads.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        TtasLock {
+            flag: AtomicBool::new(false),
+            threads,
+        }
+    }
+}
+
+impl RawLock for TtasLock {
+    fn lock(&self, _tid: usize) {
+        let mut spin = Spinner::new();
+        loop {
+            while self.flag.load(Ordering::Relaxed) {
+                spin.wait();
+            }
+            if !self.flag.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    fn unlock(&self, _tid: usize) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn name(&self) -> &'static str {
+        "ttas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::torture;
+
+    #[test]
+    fn tas_excludes() {
+        let lock = TasLock::new(4);
+        let r = torture(&lock, 4, 2_000);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.counter, 8_000);
+    }
+
+    #[test]
+    fn ttas_excludes() {
+        let lock = TtasLock::new(4);
+        let r = torture(&lock, 4, 2_000);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.counter, 8_000);
+    }
+}

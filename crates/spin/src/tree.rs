@@ -1,0 +1,58 @@
+//! Arbitration-tree geometry for the register-only tournament locks —
+//! the hardware twin of `exclusion_mutex::tree`.
+
+/// Number of levels for `n` threads (smallest complete tree).
+pub(crate) fn levels(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Number of internal nodes.
+pub(crate) fn nodes(n: usize) -> usize {
+    (1usize << levels(n)) - 1
+}
+
+/// The `(node, side)` hop of thread `tid` at climb level `level`
+/// (level 0 is just above the leaves; nodes are heap-indexed from 1).
+pub(crate) fn hop(n: usize, tid: usize, level: usize) -> (usize, u8) {
+    let slot = (1usize << levels(n)) + tid;
+    let shifted = slot >> level;
+    (shifted >> 1, (shifted & 1) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_simulated_tree_geometry() {
+        for n in 1..=17 {
+            let sim = exclusion_mutex_tree_reference(n);
+            assert_eq!(levels(n), sim.0, "levels for n = {n}");
+            assert_eq!(nodes(n), sim.1, "nodes for n = {n}");
+        }
+    }
+
+    // Reference values recomputed independently (the simulated crate is
+    // not a dependency of this one).
+    fn exclusion_mutex_tree_reference(n: usize) -> (usize, usize) {
+        let mut l = 0;
+        while (1usize << l) < n {
+            l += 1;
+        }
+        (l, (1usize << l) - 1)
+    }
+
+    #[test]
+    fn siblings_oppose() {
+        let (na, sa) = hop(4, 0, 0);
+        let (nb, sb) = hop(4, 1, 0);
+        assert_eq!(na, nb);
+        assert_ne!(sa, sb);
+        assert_eq!(hop(4, 0, 1).0, 1);
+        assert_eq!(hop(4, 3, 1).0, 1);
+    }
+}

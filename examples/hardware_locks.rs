@@ -1,0 +1,45 @@
+//! Exercise the real-hardware lock family under genuine thread
+//! contention and print per-acquisition latency.
+//!
+//! ```text
+//! cargo run --release --example hardware_locks [iters-per-thread]
+//! ```
+
+use exclusion::spin::harness::{all_locks, torture};
+use std::time::Instant;
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("host parallelism: {cpus} (oversubscribed runs measure handoff under preemption)\n");
+    println!(
+        "{:>14} {:>9} {:>12} {:>12} {:>10}",
+        "lock", "threads", "total ops", "ns/op", "violations"
+    );
+    for threads in [1usize, 2, 4] {
+        for lock in all_locks(threads) {
+            let start = Instant::now();
+            let report = torture(lock.as_ref(), threads, iters);
+            let elapsed = start.elapsed();
+            let ops = (threads * iters) as u64;
+            assert_eq!(report.counter, ops, "{} lost updates!", lock.name());
+            println!(
+                "{:>14} {:>9} {:>12} {:>12.1} {:>10}",
+                lock.name(),
+                threads,
+                ops,
+                elapsed.as_nanos() as f64 / ops as f64,
+                report.violations
+            );
+        }
+        println!();
+    }
+    println!(
+        "All locks preserve exclusion (violations = 0, no lost updates); the\n\
+         interesting column is ns/op as contention grows — compare the queue\n\
+         locks against TAS and the register-only tournaments."
+    );
+}

@@ -1,0 +1,55 @@
+//! `exclusion` — an executable reproduction of Fan & Lynch, *An
+//! Ω(n log n) Lower Bound on the Cost of Mutual Exclusion* (PODC 2006).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`shmem`] — the paper's shared-memory model: deterministic process
+//!   automata over registers, executions, replay, schedulers, and an
+//!   explicit-state model checker;
+//! * [`mutex`] — register-only mutual exclusion algorithms as automata
+//!   (tournaments, bakery, filter, Dijkstra, Burns–Lynch, and
+//!   deliberately broken locks);
+//! * [`cost`] — the state-change (SC) cost model of Definition 3.1,
+//!   plus cache-coherent (CC) and distributed-shared-memory (DSM)
+//!   accounting;
+//! * [`lb`] — the lower-bound machinery itself: `construct` (Figure 1),
+//!   `encode` (Figure 2), `decode` (Figure 3), and validators for every
+//!   theorem;
+//! * [`spin`] — real-hardware locks on `std::sync::atomic` mirroring
+//!   the simulated family.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! the paper-to-code mapping, and `EXPERIMENTS.md` for the reproduced
+//! results.
+//!
+//! # Quickstart
+//!
+//! Run the paper's pipeline end to end for one permutation:
+//!
+//! ```
+//! use exclusion::lb::{construct, decode, encode, ConstructConfig, Permutation};
+//! use exclusion::mutex::DekkerTournament;
+//!
+//! let alg = DekkerTournament::new(8);
+//! let pi = Permutation::unrank(8, 12_345);
+//!
+//! // Construct the adversarial execution α_π …
+//! let c = construct(&alg, &pi, &ConstructConfig::default())?;
+//! // … compress it to O(C(α_π)) bits …
+//! let (bytes, bits) = encode(&c).to_bits();
+//! println!("C = {} state changes, |E| = {bits} bits", c.cost());
+//! // … and decompress it without knowing π.
+//! let enc = exclusion::lb::Encoding::from_bits(&bytes, bits, 8)?;
+//! let alpha = decode(&alg, &enc)?;
+//! assert_eq!(alpha.critical_order(), pi.order());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use exclusion_cost as cost;
+pub use exclusion_lb as lb;
+pub use exclusion_mutex as mutex;
+pub use exclusion_shmem as shmem;
+pub use exclusion_spin as spin;

@@ -1,0 +1,139 @@
+//! Integration: the machinery must *reject* broken inputs — bad locks,
+//! bad permutations, corrupted encodings — not silently accept them.
+
+use exclusion::lb::{construct, decode, encode, ConstructConfig, ConstructError, Permutation};
+use exclusion::mutex::broken::{BrokenPeterson, RacyBool};
+use exclusion::mutex::stale_tournament::StaleTournament;
+use exclusion::mutex::{Bakery, DekkerTournament};
+use exclusion::shmem::checker::{check_mutual_exclusion, CheckConfig};
+use exclusion::shmem::testing::{Alternator, NoLock};
+use exclusion::shmem::Automaton;
+
+#[test]
+fn model_checker_rejects_every_broken_lock() {
+    let no_lock = check_mutual_exclusion(&NoLock::new(2), CheckConfig::default());
+    assert!(no_lock.violation.is_some());
+
+    let racy = check_mutual_exclusion(&RacyBool::new(2), CheckConfig::default());
+    assert!(racy.violation.is_some());
+
+    let peterson = check_mutual_exclusion(
+        &BrokenPeterson,
+        CheckConfig {
+            passages: 2,
+            max_states: 5_000_000,
+        },
+    );
+    assert!(peterson.violation.is_some());
+
+    let stale = check_mutual_exclusion(
+        &StaleTournament::new(2),
+        CheckConfig {
+            passages: 3,
+            max_states: 10_000_000,
+        },
+    );
+    assert!(stale.violation.is_some());
+}
+
+#[test]
+fn witnesses_are_genuine_executions() {
+    let alg = RacyBool::new(3);
+    let out = check_mutual_exclusion(&alg, CheckConfig::default());
+    let v = out.violation.expect("found");
+    let sys = exclusion::shmem::replay(&alg, v.witness.steps(), |_| {}).expect("replays");
+    assert_eq!(sys.in_critical().count(), 2);
+}
+
+#[test]
+fn construction_diagnoses_non_livelock_free_runs() {
+    // The token ring cannot serve permutations that differ from the
+    // token order: the construction reports *which* process is stuck on
+    // *which* register.
+    let alg = Alternator::new(3);
+    let err = construct(
+        &alg,
+        &Permutation::from_order(
+            [1usize, 0, 2]
+                .map(exclusion::shmem::ProcessId::new)
+                .to_vec(),
+        ),
+        &ConstructConfig::default(),
+    )
+    .unwrap_err();
+    match err {
+        ConstructError::Stuck { stage, pid, reg } => {
+            assert_eq!(stage, 0);
+            assert_eq!(pid.index(), 1);
+            assert_eq!(reg.index(), 0);
+        }
+        other => panic!("expected Stuck, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_reported() {
+    let alg = Bakery::new(6);
+    let err = construct(
+        &alg,
+        &Permutation::identity(6),
+        &ConstructConfig {
+            max_steps_per_stage: 3,
+            ..ConstructConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ConstructError::BudgetExceeded { .. }));
+}
+
+#[test]
+fn construction_rejects_rmw_algorithms() {
+    // The paper's model — and its Ω(n log n) bound — is register-only;
+    // feeding a queue lock to the construction is diagnosed, not
+    // mishandled.
+    for alg in exclusion::mutex::AnyAlgorithm::rmw_suite(3) {
+        let err = construct(&alg, &Permutation::identity(3), &ConstructConfig::default())
+            .expect_err(&alg.name());
+        assert!(
+            matches!(err, ConstructError::UnsupportedStep { .. }),
+            "{}: {err:?}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn decoding_with_the_wrong_algorithm_fails() {
+    let bakery = Bakery::new(5);
+    let dekker = DekkerTournament::new(5);
+    let pi = Permutation::reversed(5);
+    let enc = encode(&construct(&bakery, &pi, &ConstructConfig::default()).unwrap());
+    assert!(decode(&dekker, &enc).is_err());
+}
+
+#[test]
+fn truncated_bitstreams_are_rejected() {
+    use exclusion::lb::Encoding;
+    let alg = DekkerTournament::new(4);
+    let pi = Permutation::identity(4);
+    let enc = encode(&construct(&alg, &pi, &ConstructConfig::default()).unwrap());
+    let (bytes, bits) = enc.to_bits();
+    for cut in [1usize, 2, 7, bits / 2] {
+        assert!(
+            Encoding::from_bits(&bytes, bits - cut, 4).is_err(),
+            "cut {cut} must not parse"
+        );
+    }
+}
+
+#[test]
+fn execution_predicates_reject_malformed_traces() {
+    use exclusion::shmem::{CritKind, Execution, ProcessId, Step};
+    let p0 = ProcessId::new(0);
+    // enter before try
+    let e = Execution::from_steps(vec![Step::crit(p0, CritKind::Enter)]);
+    assert!(!e.well_formed(1));
+    // process id out of range
+    let e = Execution::from_steps(vec![Step::crit(ProcessId::new(5), CritKind::Try)]);
+    assert!(!e.well_formed(2));
+}

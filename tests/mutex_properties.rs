@@ -1,0 +1,79 @@
+//! Integration: safety of the algorithm library under randomized
+//! schedules (property-based) and exhaustive checking.
+
+use exclusion::mutex::AnyAlgorithm;
+use exclusion::shmem::checker::{check_mutual_exclusion, CheckConfig};
+use exclusion::shmem::sched::{run_random, run_round_robin};
+use exclusion::shmem::Automaton;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any suite algorithm, any size 1–6, any seed: random fair
+    /// schedules preserve mutual exclusion and well-formedness.
+    #[test]
+    fn random_schedules_preserve_mutual_exclusion(
+        n in 1usize..=6,
+        alg_idx in 0usize..6,
+        seed in any::<u64>(),
+        passages in 1usize..=3,
+    ) {
+        let alg = AnyAlgorithm::suite(n).remove(alg_idx);
+        let exec = run_random(&alg, passages, 50_000_000, seed).expect("fair run terminates");
+        prop_assert!(exec.well_formed(n));
+        prop_assert!(exec.mutual_exclusion(n));
+        prop_assert_eq!(exec.critical_order().len(), n * passages);
+    }
+
+    /// Round-robin (deterministic fair) schedules likewise.
+    #[test]
+    fn round_robin_preserves_mutual_exclusion(
+        n in 1usize..=6,
+        alg_idx in 0usize..6,
+        passages in 1usize..=3,
+    ) {
+        let alg = AnyAlgorithm::suite(n).remove(alg_idx);
+        let exec = run_round_robin(&alg, passages, 50_000_000).expect("terminates");
+        prop_assert!(exec.mutual_exclusion(n));
+    }
+}
+
+#[test]
+fn exhaustive_model_check_suite_n2() {
+    for alg in AnyAlgorithm::suite(2) {
+        let out = check_mutual_exclusion(
+            &alg,
+            CheckConfig {
+                passages: 2,
+                max_states: 20_000_000,
+            },
+        );
+        assert!(
+            out.verified(),
+            "{}: {} states, violation: {:?}",
+            alg.name(),
+            out.states_explored,
+            out.violation
+        );
+    }
+}
+
+#[test]
+fn exhaustive_model_check_suite_n3_single_passage() {
+    for alg in AnyAlgorithm::suite(3) {
+        let out = check_mutual_exclusion(
+            &alg,
+            CheckConfig {
+                passages: 1,
+                max_states: 50_000_000,
+            },
+        );
+        assert!(
+            out.verified(),
+            "{}: {} states",
+            alg.name(),
+            out.states_explored
+        );
+    }
+}
