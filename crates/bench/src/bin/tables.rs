@@ -29,7 +29,7 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment `{id}`; use e1..e9, e10a, e10b, e11, e12");
+                eprintln!("unknown experiment `{id}`; use e1..e9, e10a, e10b, e11, e12, e13");
                 std::process::exit(2);
             }
         },

@@ -315,7 +315,10 @@ pub fn construct_stages<A: Automaton>(
     let mut seen = vec![false; n];
     for p in stages {
         assert!(p.index() < n, "{p} out of range");
-        assert!(!std::mem::replace(&mut seen[p.index()], true), "{p} repeated");
+        assert!(
+            !std::mem::replace(&mut seen[p.index()], true),
+            "{p} repeated"
+        );
     }
     let registers = alg.registers();
     let mut c = Construction {
@@ -506,11 +509,7 @@ fn maximal_unexecuted(
     alive
         .iter()
         .copied()
-        .filter(|&m| {
-            alive
-                .iter()
-                .all(|&other| other == m || !c.dag.le(m, other))
-        })
+        .filter(|&m| alive.iter().all(|&other| other == m || !c.dag.le(m, other)))
         .collect()
 }
 

@@ -76,11 +76,8 @@ pub fn decode<A: Automaton>(alg: &A, enc: &Encoding) -> Result<Execution, Decode
     let mut readers: Vec<Vec<ProcessId>> = vec![Vec::new(); regs_n];
     let mut pr_count = vec![0usize; regs_n];
 
-    let mismatch = |pid: ProcessId, row: usize, detail: String| DecodeError::CellMismatch {
-        pid,
-        row,
-        detail,
-    };
+    let mismatch =
+        |pid: ProcessId, row: usize, detail: String| DecodeError::CellMismatch { pid, row, detail };
 
     loop {
         let mut progress = false;

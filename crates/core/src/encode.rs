@@ -169,15 +169,12 @@ impl Encoding {
                     let rd = r.read_gamma()? - 1;
                     let wr = r.read_gamma()?;
                     Cell::Winner {
-                        pr: u32::try_from(pr).map_err(|_| DecodeError::Malformed {
-                            bit: r.position(),
-                        })?,
-                        r: u32::try_from(rd).map_err(|_| DecodeError::Malformed {
-                            bit: r.position(),
-                        })?,
-                        w: u32::try_from(wr).map_err(|_| DecodeError::Malformed {
-                            bit: r.position(),
-                        })?,
+                        pr: u32::try_from(pr)
+                            .map_err(|_| DecodeError::Malformed { bit: r.position() })?,
+                        r: u32::try_from(rd)
+                            .map_err(|_| DecodeError::Malformed { bit: r.position() })?,
+                        w: u32::try_from(wr)
+                            .map_err(|_| DecodeError::Malformed { bit: r.position() })?,
                     }
                 } else {
                     break; // 111: end of column

@@ -17,7 +17,9 @@ impl Construction {
     /// metastep is taken.
     fn topological_order(&self, mut rng: Option<&mut StdRng>) -> Vec<MetastepId> {
         let m = self.metasteps.len();
-        let mut indegree: Vec<usize> = (0..m).map(|i| self.dag().preds(MetastepId(i as u32)).len()).collect();
+        let mut indegree: Vec<usize> = (0..m)
+            .map(|i| self.dag().preds(MetastepId(i as u32)).len())
+            .collect();
         let mut ready: Vec<MetastepId> = (0..m)
             .filter(|&i| indegree[i] == 0)
             .map(|i| MetastepId(i as u32))
@@ -206,13 +208,12 @@ impl Construction {
     {
         use crate::metastep::MetastepKind;
         use std::fmt::Write as _;
-        let mut out = String::from("digraph construction {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = String::from(
+            "digraph construction {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
         for m in self.metasteps() {
             let (label, color) = match m.kind() {
-                MetastepKind::Crit => (
-                    format!("{}", m.crit().expect("crit step")),
-                    "lightgray",
-                ),
+                MetastepKind::Crit => (format!("{}", m.crit().expect("crit step")), "lightgray"),
                 MetastepKind::Read => (
                     format!(
                         "{}\\n{}",
@@ -222,7 +223,9 @@ impl Construction {
                     "lightyellow",
                 ),
                 MetastepKind::Write => {
-                    let reg = m.register().map_or_else(String::new, |r| alg.register_name(r));
+                    let reg = m
+                        .register()
+                        .map_or_else(String::new, |r| alg.register_name(r));
                     (
                         format!(
                             "{reg}\\nW:{} win:p{} R:{}",
@@ -298,9 +301,8 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
                 for seed in 0..5 {
                     let lin = c.linearize_random(seed);
-                    exclusion_shmem::replay(&alg, lin.steps(), |_| {}).unwrap_or_else(|e| {
-                        panic!("{} π#{rank} seed {seed}: {e}", alg.name())
-                    });
+                    exclusion_shmem::replay(&alg, lin.steps(), |_| {})
+                        .unwrap_or_else(|e| panic!("{} π#{rank} seed {seed}: {e}", alg.name()));
                 }
             }
         }
@@ -373,7 +375,11 @@ mod tests {
         let dot = c.to_dot(&alg);
         assert!(dot.starts_with("digraph"));
         for m in c.metasteps() {
-            assert!(dot.contains(&format!("\"{}\\n", m.id())), "{} missing", m.id());
+            assert!(
+                dot.contains(&format!("\"{}\\n", m.id())),
+                "{} missing",
+                m.id()
+            );
         }
         // Edges are present and preread edges are dashed when they exist.
         assert!(dot.contains("->"));

@@ -77,9 +77,8 @@ impl Construction {
             .map(|i| self.dag().preds(MetastepId(i as u32)).len())
             .collect();
         let mut level = vec![0usize; n];
-        let mut queue: std::collections::VecDeque<usize> = (0..n)
-            .filter(|&i| indegree[i] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
         while let Some(i) = queue.pop_front() {
             for &succ in self.dag().succs(MetastepId(i as u32)) {
                 let j = succ.index();
@@ -135,10 +134,7 @@ mod tests {
         let pi = Permutation::reversed(4);
         let c = construct(&alg, &pi, &ConstructConfig::default()).unwrap();
         let s = c.stats();
-        assert!(
-            s.hidden_writes + s.absorbed_reads + s.prereads > 0,
-            "{s:?}"
-        );
+        assert!(s.hidden_writes + s.absorbed_reads + s.prereads > 0, "{s:?}");
     }
 
     #[test]

@@ -178,7 +178,11 @@ pub fn all_costs<A: Automaton>(
     alg: &A,
     exec: &Execution,
 ) -> Result<(CostReport, CostReport, CostReport), ReplayError> {
-    Ok((sc_cost(alg, exec)?, cc_cost(alg, exec)?, dsm_cost(alg, exec)?))
+    Ok((
+        sc_cost(alg, exec)?,
+        cc_cost(alg, exec)?,
+        dsm_cost(alg, exec)?,
+    ))
 }
 
 #[cfg(test)]

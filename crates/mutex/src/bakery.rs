@@ -203,8 +203,7 @@ impl Automaton for Bakery {
             (Phase::WaitNumber, Observation::Read(v)) => {
                 let j = state.j as usize;
                 let me = pid.index();
-                let j_goes_first =
-                    v != 0 && (v, j) < (state.ticket, me);
+                let j_goes_first = v != 0 && (v, j) < (state.ticket, me);
                 if j_goes_first {
                     *state // j holds a smaller ticket: spin (free)
                 } else {

@@ -223,7 +223,10 @@ mod tests {
                 max_states: 5_000_000,
             },
         );
-        assert!(out.violation.is_some(), "the inverted tie-break must be found");
+        assert!(
+            out.violation.is_some(),
+            "the inverted tie-break must be found"
+        );
     }
 
     #[test]

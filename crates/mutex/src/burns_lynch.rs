@@ -103,7 +103,12 @@ impl Automaton for BurnsLynch {
         }
     }
 
-    fn observe(&self, pid: ProcessId, state: &BurnsLynchState, obs: Observation) -> BurnsLynchState {
+    fn observe(
+        &self,
+        pid: ProcessId,
+        state: &BurnsLynchState,
+        obs: Observation,
+    ) -> BurnsLynchState {
         let me = pid.index();
         let at = |phase, j: u32| BurnsLynchState { phase, j };
         // After the first scans (below `me`) comes `Raise` / `WaitHigh`.

@@ -146,9 +146,7 @@ impl Automaton for Filter {
             Phase::SetLevel => {
                 NextStep::Write(self.level_reg(pid.index()), Value::from(state.level))
             }
-            Phase::SetVictim => {
-                NextStep::Write(self.victim_reg(state.level), pid.index() as Value)
-            }
+            Phase::SetVictim => NextStep::Write(self.victim_reg(state.level), pid.index() as Value),
             Phase::ScanLevel => NextStep::Read(self.level_reg(state.j as usize)),
             Phase::CheckVictim => NextStep::Read(self.victim_reg(state.level)),
             Phase::Entering => NextStep::Crit(CritKind::Enter),

@@ -341,9 +341,7 @@ impl Automaton for ClhSim {
                 }
             }
             // Release our node and recycle the predecessor's.
-            (Phase::Exit(0), Observation::Write) => {
-                RmwState::at(Phase::Resting, pack(pred, 0))
-            }
+            (Phase::Exit(0), Observation::Write) => RmwState::at(Phase::Resting, pack(pred, 0)),
             _ => unreachable!("clh: {s:?} cannot observe {obs:?}"),
         }
     }
@@ -546,7 +544,12 @@ mod tests {
                     max_states: 20_000_000,
                 },
             );
-            assert!(out.verified(), "{}: {} states", alg.name(), out.states_explored);
+            assert!(
+                out.verified(),
+                "{}: {} states",
+                alg.name(),
+                out.states_explored
+            );
         }
     }
 
@@ -571,10 +574,7 @@ mod tests {
         // Under round robin, entry order equals draw order.
         let alg = TicketSim::new(4);
         let exec = run_round_robin(&alg, 1, 100_000).unwrap();
-        assert_eq!(
-            exec.critical_order(),
-            ProcessId::all(4).collect::<Vec<_>>()
-        );
+        assert_eq!(exec.critical_order(), ProcessId::all(4).collect::<Vec<_>>());
     }
 
     #[test]

@@ -140,6 +140,15 @@ macro_rules! suite {
             pub fn uses_rmw(&self) -> bool {
                 matches!(self, $(Self::$rvariant(_))|*)
             }
+
+            /// Looks an algorithm up by its report [`name`](Automaton::name)
+            /// (e.g. `"dekker-tree"`, `"bakery"`, `"mcs-sim"`),
+            /// instantiated for `n` processes; `None` for unknown names.
+            /// Scenario engines use this to select algorithms at runtime.
+            #[must_use]
+            pub fn by_name(name: &str, n: usize) -> Option<AnyAlgorithm> {
+                Self::full_suite(n).into_iter().find(|a| a.name() == name)
+            }
         }
     };
 }
@@ -248,6 +257,16 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
             assert!(exec.mutual_exclusion(3), "{}", alg.name());
         }
+    }
+
+    #[test]
+    fn by_name_finds_every_suite_member() {
+        for alg in AnyAlgorithm::full_suite(4) {
+            let found = AnyAlgorithm::by_name(&alg.name(), 4).expect("known name");
+            assert_eq!(found.name(), alg.name());
+            assert_eq!(found.processes(), 4);
+        }
+        assert!(AnyAlgorithm::by_name("no-such-lock", 4).is_none());
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! A minimal, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so
+//! this crate re-implements exactly the slice of the `rand` 0.9 API the
+//! workspace uses — [`Rng::random_range`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom::shuffle`] — and is wired in
+//! under the name `rand` via cargo dependency renaming.
+//!
+//! The generator is **xoshiro256\*\*** seeded through SplitMix64: fast,
+//! well distributed, and — the property everything downstream relies on —
+//! fully deterministic for a given seed on every platform. It is *not*
+//! cryptographically secure, which is fine: every use in this workspace is
+//! reproducible simulation.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+//!
+//! # Example
+//!
+//! ```
+//! // Downstream crates depend on this crate renamed to `rand`, so they
+//! // write `use rand::rngs::StdRng;` etc.
+//! use exclusion_rand::rngs::StdRng;
+//! use exclusion_rand::seq::SliceRandom;
+//! use exclusion_rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let i = rng.random_range(0..10);
+//! assert!(i < 10);
+//! let mut v = [1, 2, 3, 4, 5];
+//! v.shuffle(&mut rng);
+//! // Same seed, same stream.
+//! let mut rng2 = StdRng::seed_from_u64(42);
+//! assert_eq!(rng2.random_range(0..10), i);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of randomness.
+///
+/// Object safe: `&mut dyn Rng` works, and the provided methods are
+/// implemented on top of [`Rng::next_u64`] alone.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random `usize` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range(&mut self, range: Range<usize>) -> usize {
+        assert!(
+            range.start < range.end,
+            "cannot sample from empty range {}..{}",
+            range.start,
+            range.end
+        );
+        let width = (range.end - range.start) as u64;
+        // Multiply-shift map of a 64-bit draw onto the width; bias is
+        // ≤ width/2^64, far below anything a simulation can observe.
+        let hi = ((u128::from(self.next_u64()) * u128::from(width)) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// A uniformly random `u64`.
+    fn random_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// A uniformly random `bool`.
+    fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** with SplitMix64
+    /// seed expansion. Deterministic per seed, identical on every
+    /// platform.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Randomized operations on slices.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Uniformly permutes the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.random_range(5..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn works_through_dyn_and_unsized_refs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dy: &mut dyn Rng = &mut rng;
+        let v = dy.random_range(0..4);
+        assert!(v < 4);
+    }
+}

@@ -157,11 +157,14 @@ mod tests {
     #[test]
     fn all_yields_in_order() {
         let v: Vec<_> = RegisterId::all(4).collect();
-        assert_eq!(v, vec![
-            RegisterId::new(0),
-            RegisterId::new(1),
-            RegisterId::new(2),
-            RegisterId::new(3)
-        ]);
+        assert_eq!(
+            v,
+            vec![
+                RegisterId::new(0),
+                RegisterId::new(1),
+                RegisterId::new(2),
+                RegisterId::new(3)
+            ]
+        );
     }
 }

@@ -19,8 +19,10 @@
 //! * [`replay()`](replay()) — deterministic re-execution of a recorded
 //!   execution with per-step validation (used by the cost models and the
 //!   lower-bound machinery);
-//! * [`sched`] — fair schedulers (round-robin, seeded random, canonical
-//!   sequential) producing executions;
+//! * [`sched`] — the pluggable [`Scheduler`] trait with fair drivers
+//!   (round-robin, seeded random, canonical sequential) and adversarial
+//!   ones (greedy cost-maximizing, burst/phased arrival, staggered
+//!   enable times) producing executions;
 //! * [`checker`] — a small explicit-state model checker that exhaustively
 //!   verifies mutual exclusion for bounded instances of an algorithm.
 //!
@@ -57,5 +59,6 @@ pub use error::{ReplayError, RunError};
 pub use execution::Execution;
 pub use ids::{ProcessId, RegisterId, Value};
 pub use replay::{replay, replay_collect, StepOutcome};
+pub use sched::{ProcessView, SchedContext, Scheduler};
 pub use step::{CritKind, Step, StepType};
 pub use system::{Section, System};

@@ -1,28 +1,525 @@
 //! Schedulers: drivers that pick which process steps next and record the
 //! resulting execution.
 //!
-//! All schedulers here are *fair* in the paper's sense (every process that
-//! is not in its remainder section keeps being scheduled), so for a
-//! livelock-free algorithm every run terminates; the step budget guards
-//! against algorithms that are not.
+//! # The [`Scheduler`] trait
+//!
+//! A scheduler is the adversary of the paper's model: the algorithm is
+//! deterministic, so the *schedule* — which process moves at each point —
+//! is the only source of nondeterminism, and choosing it is how an
+//! adversary extracts cost. Implementors see a [`SchedContext`]: one
+//! [`ProcessView`] per process carrying its section, completed passages,
+//! and a preview of its pending step (`shared`, `changes_state` — the SC
+//! predicate of the paper's Figure 1). [`run_scheduler`] drives any
+//! `Scheduler` until it returns `None` or a step budget is exhausted.
+//!
+//! Built-in schedulers:
+//!
+//! * [`Sequential`] — the canonical no-contention schedule: each process
+//!   of an order runs a whole passage before the next starts;
+//! * [`RoundRobin`] — deterministic fair interleaving;
+//! * [`Random`] — uniformly random fair interleaving (seeded);
+//! * [`GreedyAdversary`] — cost-maximizing: always schedules a process
+//!   whose pending shared step would be charged under SC;
+//! * [`Burst`] — phased arrival: processes join in waves;
+//! * [`Stagger`] — per-process enable times.
+//!
+//! # Fairness obligations for implementors
+//!
+//! The paper's executions are *fair*: no process outside its remainder
+//! section is neglected forever. Every built-in scheduler here upholds a
+//! bounded version of that obligation — each live process is scheduled at
+//! least once in any window of `B` picks for some bound `B` (round-robin:
+//! `B = n`; [`GreedyAdversary`]: its `patience` valve) — which is what
+//! makes runs of livelock-free algorithms terminate. A custom `Scheduler`
+//! that starves a live process forever models a *non-admissible*
+//! adversary: [`run_scheduler`] will still behave correctly, but runs may
+//! only end by exhausting `max_steps` and reporting [`RunError`].
+//! Implementors must also only ever pick **live** processes (ones with
+//! `done == false`); picking a finished process would start an unwanted
+//! extra passage, and the driver rejects it with a debug assertion.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::automaton::Automaton;
+use crate::automaton::{Automaton, NextStep};
 use crate::error::RunError;
 use crate::execution::Execution;
 use crate::ids::ProcessId;
-use crate::system::System;
+use crate::system::{Section, System};
+
+/// What a scheduler is allowed to see about one process before picking:
+/// bookkeeping plus a preview of the process's pending step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProcessView {
+    /// The process this view describes.
+    pub pid: ProcessId,
+    /// Its current section.
+    pub section: Section,
+    /// Completed passages so far.
+    pub passages: usize,
+    /// Whether it has completed all passages the run asks for. Done
+    /// processes must not be picked.
+    pub done: bool,
+    /// The pending step itself (δ of the current state).
+    pub next: NextStep,
+    /// Whether executing its pending step right now would change its
+    /// state — i.e. whether the SC cost model would charge it (for
+    /// shared steps) and whether a spin would advance (for reads).
+    ///
+    /// Computing this costs an `observe` evaluation per process per
+    /// step, so it is only populated for schedulers that opt in via
+    /// [`Scheduler::wants_step_previews`]; otherwise it is `false`.
+    pub changes_state: bool,
+}
+
+impl ProcessView {
+    /// Whether the pending step accesses shared memory (read, write or
+    /// RMW — as opposed to a critical step).
+    #[must_use]
+    pub fn shared(&self) -> bool {
+        !matches!(self.next, NextStep::Crit(_))
+    }
+}
+
+/// Everything a [`Scheduler`] sees when asked for the next process.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedContext<'a> {
+    /// Global index of the step about to be scheduled (0-based); doubles
+    /// as the arrival clock for [`Burst`] and [`Stagger`].
+    pub step: usize,
+    /// The passage count every process is driven to.
+    pub target_passages: usize,
+    /// One view per process, indexed by process.
+    pub views: &'a [ProcessView],
+}
+
+impl SchedContext<'_> {
+    /// Views of the processes that still have passages to complete.
+    pub fn live(&self) -> impl Iterator<Item = &ProcessView> {
+        self.views.iter().filter(|v| !v.done)
+    }
+}
+
+/// A scheduling policy: picks which live process steps next.
+///
+/// Object safe — `Box<dyn Scheduler>` lets callers select policies at
+/// runtime. See the module docs for the fairness obligations.
+pub trait Scheduler {
+    /// A short name for reports and tables.
+    fn name(&self) -> String;
+
+    /// The next process to step, or `None` to end the run (normally:
+    /// when every process is done).
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId>;
+
+    /// Whether this scheduler reads [`ProcessView::changes_state`].
+    /// Defaults to `false`, which lets the driver skip the per-process
+    /// `observe` evaluation on every step; cost-aware schedulers (like
+    /// [`GreedyAdversary`]) opt in.
+    fn wants_step_previews(&self) -> bool {
+        false
+    }
+}
+
+fn build_views<A: Automaton>(
+    sys: &System<'_, A>,
+    passages: usize,
+    previews: bool,
+    out: &mut Vec<ProcessView>,
+) {
+    out.clear();
+    for p in ProcessId::all(sys.processes()) {
+        out.push(ProcessView {
+            pid: p,
+            section: sys.section(p),
+            passages: sys.passages(p),
+            done: sys.passages(p) >= passages,
+            next: sys.peek(p),
+            changes_state: previews && sys.step_changes_state(p),
+        });
+    }
+}
+
+/// Drives `sched` over a fresh system of `alg` until the scheduler
+/// returns `None`, recording the execution. Every process is expected to
+/// be driven to `passages` completed passages (exposed to the scheduler
+/// as `target_passages`; the scheduler decides when to stop).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the scheduler keeps picking processes past
+/// `max_steps`.
+pub fn run_scheduler<A, S>(
+    alg: &A,
+    sched: &mut S,
+    passages: usize,
+    max_steps: usize,
+) -> Result<Execution, RunError>
+where
+    A: Automaton,
+    S: Scheduler + ?Sized,
+{
+    let n = alg.processes();
+    let previews = sched.wants_step_previews();
+    let mut sys = System::new(alg);
+    let mut exec = Execution::new();
+    let mut views = Vec::with_capacity(n);
+    for step in 0..=max_steps {
+        build_views(&sys, passages, previews, &mut views);
+        let ctx = SchedContext {
+            step,
+            target_passages: passages,
+            views: &views,
+        };
+        match sched.pick(&ctx) {
+            None => return Ok(exec),
+            Some(p) if step < max_steps => {
+                debug_assert!(
+                    !views[p.index()].done,
+                    "{} picked finished process {p}",
+                    sched.name()
+                );
+                exec.push(sys.step(p).step);
+            }
+            Some(_) => break,
+        }
+    }
+    let completed = views.iter().filter(|v| v.done).count();
+    Err(RunError {
+        limit: max_steps,
+        completed,
+        processes: n,
+    })
+}
+
+/// The canonical sequential schedule: each process of `order` runs one
+/// whole passage before the next one starts. With a repeated process the
+/// later occurrence runs one *further* passage.
+#[derive(Clone, Debug)]
+pub struct Sequential {
+    order: Vec<ProcessId>,
+    counts: Vec<usize>,
+}
+
+impl Sequential {
+    /// A sequential scheduler completing one passage per entry of
+    /// `order`, in order.
+    #[must_use]
+    pub fn new(order: Vec<ProcessId>) -> Self {
+        Sequential {
+            order,
+            counts: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for Sequential {
+    fn name(&self) -> String {
+        "sequential".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        // `counts[p]` counts occurrences of p in the order walked so far;
+        // the k-th occurrence is complete once p has k passages.
+        self.counts.clear();
+        self.counts.resize(ctx.views.len(), 0);
+        for &p in &self.order {
+            self.counts[p.index()] += 1;
+            if ctx.views[p.index()].passages < self.counts[p.index()] {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// Deterministic fair interleaving: processes step in cyclic order,
+/// skipping finished ones.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting at process 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        let n = ctx.views.len();
+        for _ in 0..n {
+            let v = &ctx.views[self.next % n];
+            self.next = (self.next + 1) % n;
+            if !v.done {
+                return Some(v.pid);
+            }
+        }
+        None
+    }
+}
+
+/// Uniformly random fair interleaving, seeded for reproducibility.
+///
+/// The candidate buffer is reused across picks, so scheduling is
+/// allocation-free after the first step.
+#[derive(Clone, Debug)]
+pub struct Random {
+    rng: StdRng,
+    live: Vec<ProcessId>,
+}
+
+impl Random {
+    /// A random scheduler with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Random {
+            rng: StdRng::seed_from_u64(seed),
+            live: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for Random {
+    fn name(&self) -> String {
+        "random".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        self.live.clear();
+        self.live.extend(ctx.live().map(|v| v.pid));
+        if self.live.is_empty() {
+            None
+        } else {
+            Some(self.live[self.rng.random_range(0..self.live.len())])
+        }
+    }
+}
+
+/// The greedy cost-maximizing adversary: always schedules a process
+/// whose pending step will be *charged* by the SC cost model.
+///
+/// Pick order (the paper's adversary intuition — force state changes,
+/// never donate free progress):
+///
+/// 1. a live process whose pending **shared** step changes its state
+///    (a charged step);
+/// 2. failing that, a live process at a critical step (free, but
+///    advances the passage structure so more contention can build);
+/// 3. failing that, a live spinning process (free read; nothing better
+///    exists).
+///
+/// Ties prefer the process with the fewest completed passages (keeping
+/// as many processes as possible in the contended trying section), then
+/// the lowest id — fully deterministic.
+///
+/// A starvation valve keeps the schedule fair in the paper's sense: any
+/// live process skipped `patience` consecutive picks is scheduled next,
+/// so livelock-free algorithms still terminate under the adversary.
+#[derive(Clone, Debug)]
+pub struct GreedyAdversary {
+    starvation: Vec<usize>,
+    patience: Option<usize>,
+}
+
+impl GreedyAdversary {
+    /// An adversary with the default patience of `4·n + 4` picks.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedyAdversary {
+            starvation: Vec::new(),
+            patience: None,
+        }
+    }
+
+    /// An adversary whose starvation valve triggers after `patience`
+    /// consecutive skips. Lower is fairer (and cheaper); `usize::MAX`
+    /// disables the valve (runs may then exhaust their budget).
+    #[must_use]
+    pub fn with_patience(patience: usize) -> Self {
+        GreedyAdversary {
+            starvation: Vec::new(),
+            patience: Some(patience),
+        }
+    }
+}
+
+impl Default for GreedyAdversary {
+    fn default() -> Self {
+        GreedyAdversary::new()
+    }
+}
+
+impl Scheduler for GreedyAdversary {
+    fn name(&self) -> String {
+        "greedy-adversary".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        let n = ctx.views.len();
+        let patience = *self.patience.get_or_insert(4 * n + 4);
+        if self.starvation.len() != n {
+            self.starvation = vec![0; n];
+        }
+        let starved = ctx
+            .live()
+            .filter(|v| self.starvation[v.pid.index()] >= patience)
+            .max_by_key(|v| self.starvation[v.pid.index()]);
+        let choice = starved.or_else(|| {
+            ctx.live().min_by_key(|v| {
+                let class = match (v.next, v.changes_state) {
+                    // Recruit everyone into the trying section first:
+                    // contention needs participants.
+                    (NextStep::Crit(crate::step::CritKind::Try), _) => 0usize,
+                    // Charged writes/RMWs next: they fill the registers
+                    // other processes are about to read, steering those
+                    // reads onto their contended (expensive) paths.
+                    (NextStep::Write(..) | NextStep::Rmw(..), true) => 1,
+                    // Then harvest the reads those writes charged.
+                    (NextStep::Read(_), true) => 2,
+                    // Free critical progress only when nothing is
+                    // chargeable.
+                    (NextStep::Crit(_), _) => 3,
+                    // Free spins last: they cost nothing and learn
+                    // nothing.
+                    (_, false) => 4,
+                };
+                // Within a class: fewest passages (keep everyone in the
+                // game), then longest-unscheduled (advance the match
+                // fronts symmetrically, like round-robin does), then pid.
+                let waited = self.starvation[v.pid.index()];
+                (class, v.passages, std::cmp::Reverse(waited), v.pid.index())
+            })
+        });
+        let picked = choice?.pid;
+        for v in ctx.live() {
+            let s = &mut self.starvation[v.pid.index()];
+            if v.pid == picked {
+                *s = 0;
+            } else {
+                *s += 1;
+            }
+        }
+        Some(picked)
+    }
+
+    fn wants_step_previews(&self) -> bool {
+        true
+    }
+}
+
+/// Round-robin among the processes enabled at the current arrival clock;
+/// when none of the live processes has arrived yet, the earliest arrival
+/// is scheduled (the clock jumps to it).
+fn pick_arrivals(
+    ctx: &SchedContext<'_>,
+    next: &mut usize,
+    enable: impl Fn(usize) -> usize,
+) -> Option<ProcessId> {
+    let n = ctx.views.len();
+    for _ in 0..n {
+        let v = &ctx.views[*next % n];
+        *next = (*next + 1) % n;
+        if !v.done && enable(v.pid.index()) <= ctx.step {
+            return Some(v.pid);
+        }
+    }
+    ctx.live()
+        .min_by_key(|v| enable(v.pid.index()))
+        .map(|v| v.pid)
+}
+
+/// Phased arrival: processes join in waves of `wave` processes, one wave
+/// every `gap` steps, and the arrived ones interleave round-robin. The
+/// degenerate `wave >= n` is plain round-robin; `wave = 1` with a large
+/// `gap` approaches the sequential schedule.
+#[derive(Clone, Debug)]
+pub struct Burst {
+    wave: usize,
+    gap: usize,
+    next: usize,
+}
+
+impl Burst {
+    /// A burst scheduler releasing `wave` processes every `gap` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` is zero.
+    #[must_use]
+    pub fn new(wave: usize, gap: usize) -> Self {
+        assert!(wave > 0, "wave size must be positive");
+        Burst { wave, gap, next: 0 }
+    }
+}
+
+impl Scheduler for Burst {
+    fn name(&self) -> String {
+        format!("burst(w{},g{})", self.wave, self.gap)
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        let (wave, gap) = (self.wave, self.gap);
+        pick_arrivals(ctx, &mut self.next, |i| (i / wave) * gap)
+    }
+}
+
+/// Per-process enable times: process `i` may not be scheduled before
+/// step `enable[i]`; arrived processes interleave round-robin. This is
+/// the fully general arrival pattern ([`Burst`] is the special case of
+/// equal-size waves).
+#[derive(Clone, Debug)]
+pub struct Stagger {
+    enable: Vec<usize>,
+    next: usize,
+}
+
+impl Stagger {
+    /// A stagger scheduler with an explicit enable time per process.
+    /// Processes beyond the end of `enable` are enabled at step 0.
+    #[must_use]
+    pub fn new(enable: Vec<usize>) -> Self {
+        Stagger { enable, next: 0 }
+    }
+
+    /// The linear ramp: process `i` enabled at step `i * stride`.
+    #[must_use]
+    pub fn stride(n: usize, stride: usize) -> Self {
+        Stagger::new((0..n).map(|i| i * stride).collect())
+    }
+}
+
+impl Scheduler for Stagger {
+    fn name(&self) -> String {
+        "stagger".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        let enable = std::mem::take(&mut self.enable);
+        let picked = pick_arrivals(ctx, &mut self.next, |i| enable.get(i).copied().unwrap_or(0));
+        self.enable = enable;
+        picked
+    }
+}
 
 /// Runs each process of `order` to completion of one passage, one after
 /// another — the *canonical sequential* schedule. The resulting execution
 /// is canonical and its critical-section order is exactly `order`.
 ///
+/// Implemented on the [`Sequential`] scheduler; the step budget is
+/// `max_steps_per_process` for each entry of `order`, pooled.
+///
 /// # Errors
 ///
-/// Returns [`RunError`] if any single process needs more than
-/// `max_steps_per_process` steps to finish its passage (the algorithm is
+/// Returns [`RunError`] if the run needs more than
+/// `order.len() * max_steps_per_process` steps in total (the algorithm is
 /// not livelock-free when run solo after the prefix).
 ///
 /// # Example
@@ -43,24 +540,18 @@ pub fn run_sequential<A: Automaton>(
     order: &[ProcessId],
     max_steps_per_process: usize,
 ) -> Result<Execution, RunError> {
-    let mut sys = System::new(alg);
-    let mut exec = Execution::new();
-    for (done, &p) in order.iter().enumerate() {
-        let target = sys.passages(p) + 1;
-        let mut budget = max_steps_per_process;
-        while sys.passages(p) < target {
-            if budget == 0 {
-                return Err(RunError {
-                    limit: max_steps_per_process,
-                    completed: done,
-                    processes: alg.processes(),
-                });
-            }
-            budget -= 1;
-            exec.push(sys.step(p).step);
-        }
+    let mut occurrences = vec![0usize; alg.processes()];
+    for p in order {
+        occurrences[p.index()] += 1;
     }
-    Ok(exec)
+    let passages = occurrences.into_iter().max().unwrap_or(0);
+    let mut sched = Sequential::new(order.to_vec());
+    run_scheduler(
+        alg,
+        &mut sched,
+        passages,
+        max_steps_per_process.saturating_mul(order.len()),
+    )
 }
 
 /// Runs all processes round-robin, each until it has completed `passages`
@@ -74,18 +565,7 @@ pub fn run_round_robin<A: Automaton>(
     passages: usize,
     max_steps: usize,
 ) -> Result<Execution, RunError> {
-    let n = alg.processes();
-    let mut next = 0usize;
-    run_with(alg, max_steps, move |sys| {
-        for _ in 0..n {
-            let p = ProcessId::new(next);
-            next = (next + 1) % n;
-            if sys.passages(p) < passages {
-                return Some(p);
-            }
-        }
-        None
-    })
+    run_scheduler(alg, &mut RoundRobin::new(), passages, max_steps)
 }
 
 /// Runs all processes under a uniformly random (seeded) fair schedule,
@@ -100,22 +580,16 @@ pub fn run_random<A: Automaton>(
     max_steps: usize,
     seed: u64,
 ) -> Result<Execution, RunError> {
-    let n = alg.processes();
-    let mut rng = StdRng::seed_from_u64(seed);
-    run_with(alg, max_steps, move |sys| {
-        let live: Vec<ProcessId> = ProcessId::all(n)
-            .filter(|&p| sys.passages(p) < passages)
-            .collect();
-        if live.is_empty() {
-            None
-        } else {
-            Some(live[rng.random_range(0..live.len())])
-        }
-    })
+    run_scheduler(alg, &mut Random::new(seed), passages, max_steps)
 }
 
 /// Generic scheduling driver: repeatedly asks `pick` for the next process
 /// to step; stops (successfully) when `pick` returns `None`.
+///
+/// This closure-based entry point predates [`Scheduler`]; it remains the
+/// lightest way to drive ad-hoc schedules (e.g. replaying a recorded pid
+/// sequence). Policies worth naming should implement [`Scheduler`] and go
+/// through [`run_scheduler`] instead.
 ///
 /// # Errors
 ///
@@ -175,6 +649,14 @@ mod tests {
     }
 
     #[test]
+    fn sequential_supports_repeated_processes() {
+        let alg = Alternator::new(1);
+        let p0 = ProcessId::new(0);
+        let exec = run_sequential(&alg, &[p0, p0, p0], 1000).unwrap();
+        assert_eq!(exec.critical_order(), vec![p0, p0, p0]);
+    }
+
+    #[test]
     fn round_robin_completes_multiple_passages() {
         let alg = Alternator::new(3);
         let exec = run_round_robin(&alg, 2, 100_000).unwrap();
@@ -199,5 +681,91 @@ mod tests {
         let alg = Alternator::new(2);
         let err = run_round_robin(&alg, 1, 3).unwrap_err();
         assert_eq!(err.limit, 3);
+    }
+
+    #[test]
+    fn views_expose_the_sc_predicate() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        // Step p1 to its spin on `turn` (which p0 has not released).
+        let p1 = ProcessId::new(1);
+        sys.step(p1);
+        let mut views = Vec::new();
+        build_views(&sys, 1, true, &mut views);
+        assert_eq!(views.len(), 2);
+        // p0's pending try changes state but is not shared.
+        assert!(!views[0].shared());
+        assert!(views[0].changes_state);
+        // p1's pending read is shared and free (spinning on 0).
+        assert!(views[1].shared());
+        assert!(!views[1].changes_state);
+        assert!(!views[1].done);
+    }
+
+    #[test]
+    fn greedy_adversary_terminates_and_is_deterministic() {
+        let alg = Alternator::new(4);
+        let a = run_scheduler(&alg, &mut GreedyAdversary::new(), 2, 100_000).unwrap();
+        let b = run_scheduler(&alg, &mut GreedyAdversary::new(), 2, 100_000).unwrap();
+        assert_eq!(a, b);
+        assert!(a.well_formed(4));
+        assert!(a.mutual_exclusion(4));
+        assert_eq!(a.critical_order().len(), 8);
+    }
+
+    #[test]
+    fn greedy_adversary_never_schedules_a_free_spin_when_charged_steps_exist() {
+        // In the Alternator only the token holder can make progress;
+        // everyone else's spin is free. Greedy must therefore drive the
+        // token holder and never burn steps on spinners, matching the
+        // (minimal) sequential step count exactly.
+        let alg = Alternator::new(3);
+        let greedy = run_scheduler(&alg, &mut GreedyAdversary::new(), 1, 100_000).unwrap();
+        let order: Vec<_> = ProcessId::all(3).collect();
+        let seq = run_sequential(&alg, &order, 100_000).unwrap();
+        assert_eq!(greedy.len(), seq.len());
+    }
+
+    #[test]
+    fn burst_and_stagger_complete_and_respect_arrival_order() {
+        let alg = Alternator::new(4);
+        for sched in [
+            &mut Burst::new(2, 8) as &mut dyn Scheduler,
+            &mut Stagger::stride(4, 6),
+        ] {
+            let exec = run_scheduler(&alg, sched, 1, 100_000).unwrap();
+            assert!(exec.well_formed(4), "{}", sched.name());
+            assert!(exec.mutual_exclusion(4), "{}", sched.name());
+            assert_eq!(exec.critical_order().len(), 4, "{}", sched.name());
+            // The token circulates in index order and arrivals are in
+            // index order, so entries happen in index order too.
+            assert_eq!(
+                exec.critical_order(),
+                ProcessId::all(4).collect::<Vec<_>>(),
+                "{}",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stagger_delays_late_processes() {
+        // With an enormous enable time for p0 (the token holder), the
+        // run must still terminate: the arrival-clock jump schedules the
+        // earliest-enabled live process once no one else can run.
+        let alg = Alternator::new(2);
+        let mut sched = Stagger::new(vec![5_000, 0]);
+        let exec = run_scheduler(&alg, &mut sched, 1, 100_000).unwrap();
+        assert!(exec.mutual_exclusion(2));
+        assert_eq!(exec.critical_order().len(), 2);
+    }
+
+    #[test]
+    fn schedulers_are_usable_as_trait_objects() {
+        let alg = Alternator::new(2);
+        let mut boxed: Box<dyn Scheduler> = Box::new(RoundRobin::new());
+        let exec = run_scheduler(&alg, boxed.as_mut(), 1, 100_000).unwrap();
+        assert_eq!(exec.critical_order().len(), 2);
+        assert_eq!(boxed.name(), "round-robin");
     }
 }

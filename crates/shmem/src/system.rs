@@ -179,6 +179,25 @@ impl<'a, A: Automaton> System<'a, A> {
         self.alg.observe(pid, s, Observation::Read(value)) != *s
     }
 
+    /// Whether executing `pid`'s next step *right now* would change its
+    /// state — the per-step charge of the SC cost model, evaluated
+    /// against the current register contents without mutating anything.
+    ///
+    /// Schedulers use this to see, before committing to a step, whether
+    /// it would be billed: a busy-wait read that will see the value it is
+    /// already spinning on returns `false` here.
+    #[must_use]
+    pub fn step_changes_state(&self, pid: ProcessId) -> bool {
+        let s = self.state(pid);
+        let obs = match self.peek(pid) {
+            NextStep::Read(reg) => Observation::Read(self.register(reg)),
+            NextStep::Write(..) => Observation::Write,
+            NextStep::Rmw(reg, _) => Observation::Rmw(self.register(reg)),
+            NextStep::Crit(_) => Observation::Crit,
+        };
+        self.alg.observe(pid, s, obs) != *s
+    }
+
     /// Executes the next step of `pid` and returns what happened.
     ///
     /// # Panics
@@ -244,9 +263,9 @@ impl<'a, A: Automaton> System<'a, A> {
                 (Step::rmw(pid, reg, op), Observation::Rmw(old), Some(old))
             }
             NextStep::Crit(kind) => {
-                let sect = self.sections[i]
-                    .after(kind)
-                    .unwrap_or_else(|| panic!("{pid} performed {kind} in {} section", self.sections[i]));
+                let sect = self.sections[i].after(kind).unwrap_or_else(|| {
+                    panic!("{pid} performed {kind} in {} section", self.sections[i])
+                });
                 self.sections[i] = sect;
                 if kind == CritKind::Rem {
                     self.passages[i] += 1;
@@ -339,6 +358,27 @@ mod tests {
         // SC predicate: reading 1 would change p1's state, reading 0 not.
         assert!(sys.read_changes_state(p1, 1));
         assert!(!sys.read_changes_state(p1, 0));
+    }
+
+    #[test]
+    fn step_changes_state_previews_without_mutating() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p1 = ProcessId::new(1);
+        // try is a real state change.
+        assert!(sys.step_changes_state(p1));
+        sys.step(p1); // try
+                      // p1 now spins on `turn` which holds 0; the pending read is free.
+        assert!(!sys.step_changes_state(p1));
+        let before = *sys.state(p1);
+        let _ = sys.step_changes_state(p1);
+        assert_eq!(*sys.state(p1), before, "preview must not mutate");
+        // Once p0 hands over the token, the same pending read is charged.
+        let p0 = ProcessId::new(0);
+        while sys.passages(p0) == 0 {
+            sys.step(p0);
+        }
+        assert!(sys.step_changes_state(p1));
     }
 
     #[test]

@@ -135,7 +135,15 @@ mod tests {
         let names: Vec<_> = locks.iter().map(|l| l.name()).collect();
         assert_eq!(
             names,
-            ["tas", "ttas", "ticket", "clh", "mcs", "peterson-tree", "dekker-tree"]
+            [
+                "tas",
+                "ttas",
+                "ticket",
+                "clh",
+                "mcs",
+                "peterson-tree",
+                "dekker-tree"
+            ]
         );
     }
 

@@ -39,13 +39,13 @@
 pub mod harness;
 
 mod clh;
-mod wait;
 mod dekker;
 mod mcs;
 mod peterson;
 mod tas;
 mod ticket;
 mod tree;
+mod wait;
 
 pub use clh::ClhLock;
 pub use dekker::DekkerTreeLock;

@@ -1,0 +1,201 @@
+//! The `workload` CLI: build a scenario grid, run a sharded sweep,
+//! print a summary table, and optionally write JSON/CSV reports.
+//!
+//! ```text
+//! workload                                  # default grid, all cores
+//! workload --algs dekker-tree,bakery --n 8 --passages 2 \
+//!          --scheds greedy,random,burst,stagger --seeds 8 \
+//!          --threads 4 --json sweep.json --csv sweep.csv
+//! workload --list-algs                      # algorithm names
+//! ```
+
+use std::process::ExitCode;
+
+use exclusion_mutex::AnyAlgorithm;
+use exclusion_shmem::Automaton;
+use exclusion_workload::{sweep, Scenario, SchedSpec, SweepOptions};
+
+const USAGE: &str = "\
+workload — adversarial scenario sweeps over the mutual exclusion suite
+
+USAGE:
+    workload [OPTIONS]
+
+OPTIONS:
+    --algs A,B,...       algorithms to sweep (default: dekker-tree,peterson)
+    --n N                processes per run (default: 8)
+    --passages P         passages per process (default: 2)
+    --scheds S,T,...     schedulers: sequential | round-robin | random |
+                         greedy | burst[:WxG] | stagger[:STRIDE]
+                         (default: greedy,random,burst,stagger)
+    --seeds K            seed-grid size for seeded schedulers (default: 8)
+    --seed-base B        first seed of the grid (default: 1)
+    --threads T          worker threads, 0 = one per core (default: 0)
+    --max-steps N        step budget per run (default: 50000000)
+    --json PATH          write the JSON report (`-` for stdout)
+    --csv PATH           write the per-run CSV (`-` for stdout)
+    --quiet              suppress the summary table
+    --list-algs          print known algorithm names and exit
+    --help               this text
+";
+
+struct Args {
+    algs: Vec<String>,
+    n: usize,
+    passages: usize,
+    scheds: Vec<String>,
+    seeds: u64,
+    seed_base: u64,
+    threads: usize,
+    max_steps: usize,
+    json: Option<String>,
+    csv: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        algs: vec!["dekker-tree".into(), "peterson".into()],
+        n: 8,
+        passages: 2,
+        scheds: vec![
+            "greedy".into(),
+            "random".into(),
+            "burst".into(),
+            "stagger".into(),
+        ],
+        seeds: 8,
+        seed_base: 1,
+        threads: 0,
+        max_steps: 50_000_000,
+        json: None,
+        csv: None,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algs" => args.algs = value()?.split(',').map(str::to_string).collect(),
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--passages" => {
+                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
+            }
+            "--scheds" => args.scheds = value()?.split(',').map(str::to_string).collect(),
+            "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--seed-base" => {
+                args.seed_base = value()?.parse().map_err(|e| format!("--seed-base: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--max-steps" => {
+                args.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--json" => args.json = Some(value()?),
+            "--csv" => args.csv = Some(value()?),
+            "--quiet" => args.quiet = true,
+            "--list-algs" => {
+                for alg in AnyAlgorithm::full_suite(2) {
+                    println!("{}", alg.name());
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.seeds == 0 {
+        return Err("--seeds must be positive".into());
+    }
+    Ok(Some(args))
+}
+
+fn build_grid(args: &Args) -> Result<Vec<Scenario>, String> {
+    let seeds: Vec<u64> = (0..args.seeds).map(|k| args.seed_base + k).collect();
+    let mut scenarios = Vec::new();
+    for alg in &args.algs {
+        for sched_name in &args.scheds {
+            let sched = SchedSpec::parse(sched_name, args.n)
+                .ok_or_else(|| format!("unknown scheduler `{sched_name}` (try --help)"))?;
+            let scenario = Scenario::builder(alg.clone(), args.n)
+                .passages(args.passages)
+                .sched(sched)
+                .seeds(seeds.iter().copied())
+                .max_steps(args.max_steps)
+                .build()
+                .map_err(|e| e.to_string())?;
+            scenarios.push(scenario);
+        }
+    }
+    Ok(scenarios)
+}
+
+fn emit(path: &str, what: &str, content: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("writing {what} to {path}: {e}"))?;
+        eprintln!("wrote {what} to {path}");
+        Ok(())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(args) = parse_args(&argv)? else {
+        return Ok(());
+    };
+    let scenarios = build_grid(&args)?;
+    let jobs: usize = scenarios.iter().map(|s| s.effective_seeds().len()).sum();
+    if !args.quiet {
+        eprintln!(
+            "sweeping {} scenarios / {} runs on {} threads ...",
+            scenarios.len(),
+            jobs,
+            if args.threads == 0 {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            } else {
+                args.threads
+            }
+        );
+    }
+    let report = sweep(
+        &scenarios,
+        &SweepOptions {
+            threads: args.threads,
+        },
+    );
+    if !args.quiet {
+        print!("{}", report.to_text());
+    }
+    if let Some(path) = &args.json {
+        emit(path, "JSON report", &report.to_json())?;
+    }
+    if let Some(path) = &args.csv {
+        emit(path, "CSV report", &report.to_csv())?;
+    }
+    let failures: usize = report.summaries.iter().map(|s| s.failures).sum();
+    if failures > 0 {
+        return Err(format!("{failures} runs exhausted their step budget"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("workload: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The adversarial scenario engine: contention workload generation and
+//! parallel sharded cost sweeps.
+//!
+//! The paper's Ω(n log n) bound is a statement about what an *adversary*
+//! — a scheduler — can force an algorithm to pay. This crate turns that
+//! viewpoint into an engine:
+//!
+//! * [`Scenario`] describes one workload: an algorithm (by name, via
+//!   `AnyAlgorithm::by_name`), a process count, a passage target, a
+//!   scheduling policy ([`SchedSpec`] — including the greedy
+//!   cost-maximizing adversary and burst/stagger arrival patterns from
+//!   `exclusion_shmem::sched`), and a seed grid;
+//! * [`sweep`] runs a batch of scenarios sharded across worker threads,
+//!   prices every recorded execution under the SC, CC and DSM cost
+//!   models, and aggregates min/percentile/max/mean summaries — results
+//!   are bit-identical for any thread count;
+//! * [`SweepReport`] serializes to JSON, CSV or an aligned text table.
+//!
+//! The `workload` binary wraps all of this in a CLI.
+//!
+//! # Example
+//!
+//! Price the tournament lock under the greedy adversary and a random
+//! seed grid, in parallel:
+//!
+//! ```
+//! use exclusion_workload::{sweep, Scenario, SchedSpec, SweepOptions};
+//!
+//! let scenarios = vec![
+//!     Scenario::builder("dekker-tree", 8)
+//!         .sched(SchedSpec::Greedy)
+//!         .build()?,
+//!     Scenario::builder("dekker-tree", 8)
+//!         .sched(SchedSpec::Random)
+//!         .seeds(0..8)
+//!         .build()?,
+//! ];
+//! let report = sweep(&scenarios, &SweepOptions::default());
+//! let greedy = &report.summaries[0];
+//! let random = &report.summaries[1];
+//! // The adversary extracts at least as much SC cost as fair chance.
+//! assert!(greedy.sc.max >= random.sc.max);
+//! println!("{}", report.to_text());
+//! # Ok::<(), exclusion_workload::ScenarioError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use report::JSON_SCHEMA;
+pub use runner::{sweep, ModelSummary, RunRecord, ScenarioSummary, SweepOptions, SweepReport};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SchedSpec};

@@ -1,0 +1,335 @@
+//! The parallel batch runner: shards a scenario × seed grid across
+//! worker threads, prices every execution under all three cost models,
+//! and aggregates per-scenario summaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use exclusion_cost::all_costs;
+use exclusion_mutex::AnyAlgorithm;
+use exclusion_shmem::sched::run_scheduler;
+
+use crate::scenario::Scenario;
+
+/// The outcome of one run: one scenario, one seed, all three cost
+/// models.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Passages per process.
+    pub passages: usize,
+    /// The seed this run used.
+    pub seed: u64,
+    /// Steps in the recorded execution.
+    pub steps: usize,
+    /// Total state-change (SC) cost.
+    pub sc: usize,
+    /// Total cache-coherent (CC) cost.
+    pub cc: usize,
+    /// Total distributed-shared-memory (DSM) cost.
+    pub dsm: usize,
+    /// The highest SC cost any single process paid.
+    pub sc_max_process: usize,
+    /// Why the run failed (budget exhaustion), if it did. Failed runs
+    /// carry zero costs and are excluded from summaries.
+    pub error: Option<String>,
+}
+
+/// Distribution summary of one cost model over a scenario's runs.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ModelSummary {
+    /// Smallest total.
+    pub min: usize,
+    /// Median (nearest-rank).
+    pub p50: usize,
+    /// 90th percentile (nearest-rank).
+    pub p90: usize,
+    /// Largest total.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl ModelSummary {
+    fn of(mut values: Vec<usize>) -> ModelSummary {
+        if values.is_empty() {
+            return ModelSummary::default();
+        }
+        values.sort_unstable();
+        let rank = |p: usize| values[(p * (values.len() - 1) + 50) / 100];
+        ModelSummary {
+            min: values[0],
+            p50: rank(50),
+            p90: rank(90),
+            max: *values.last().expect("nonempty"),
+            mean: values.iter().sum::<usize>() as f64 / values.len() as f64,
+        }
+    }
+}
+
+/// Aggregate over all successful runs of one scenario.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Passages per process.
+    pub passages: usize,
+    /// Successful runs.
+    pub runs: usize,
+    /// Failed runs (budget exhaustion).
+    pub failures: usize,
+    /// SC cost distribution.
+    pub sc: ModelSummary,
+    /// CC cost distribution.
+    pub cc: ModelSummary,
+    /// DSM cost distribution.
+    pub dsm: ModelSummary,
+}
+
+/// Everything a sweep produced: one record per run plus per-scenario
+/// summaries, both in deterministic order (scenario order, then seed
+/// order — independent of thread count).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SweepReport {
+    /// One record per (scenario, effective seed), in grid order.
+    pub records: Vec<RunRecord>,
+    /// One summary per scenario, in scenario order.
+    pub summaries: Vec<ScenarioSummary>,
+}
+
+/// Options for [`sweep`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+}
+
+impl SweepOptions {
+    fn resolved_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, jobs.max(1))
+    }
+}
+
+fn run_one(sc: &Scenario, seed: u64) -> RunRecord {
+    let mut record = RunRecord {
+        scenario: sc.name.clone(),
+        algorithm: sc.algorithm.clone(),
+        scheduler: sc.sched.label(),
+        n: sc.n,
+        passages: sc.passages,
+        seed,
+        steps: 0,
+        sc: 0,
+        cc: 0,
+        dsm: 0,
+        sc_max_process: 0,
+        error: None,
+    };
+    let Some(alg) = AnyAlgorithm::by_name(&sc.algorithm, sc.n) else {
+        record.error = Some(format!("unknown algorithm `{}`", sc.algorithm));
+        return record;
+    };
+    let mut sched = sc.sched.build(sc.n, sc.passages, seed);
+    match run_scheduler(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
+        Ok(exec) => match all_costs(&alg, &exec) {
+            Ok((sc_cost, cc_cost, dsm_cost)) => {
+                record.steps = exec.len();
+                record.sc = sc_cost.total();
+                record.cc = cc_cost.total();
+                record.dsm = dsm_cost.total();
+                record.sc_max_process = sc_cost.max_process();
+            }
+            Err(e) => record.error = Some(e.to_string()),
+        },
+        Err(e) => record.error = Some(e.to_string()),
+    }
+    record
+}
+
+/// Runs the full scenario × seed grid, sharded across worker threads.
+///
+/// Workers pull jobs from a shared cursor (no static partitioning, so an
+/// expensive scenario cannot strand one thread with all the work), and
+/// the report is assembled in grid order: results are bit-identical for
+/// any thread count.
+#[must_use]
+pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
+    let jobs: Vec<(usize, u64)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, sc)| sc.effective_seeds().iter().map(move |&s| (i, s)))
+        .collect();
+    let threads = opts.resolved_threads(jobs.len());
+    let cursor = AtomicUsize::new(0);
+
+    let mut slots: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let jobs = &jobs;
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<(usize, RunRecord)> = Vec::new();
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(i, seed)) = jobs.get(k) else {
+                        return out;
+                    };
+                    out.push((k, run_one(&scenarios[i], seed)));
+                }
+            }));
+        }
+        for h in handles {
+            for (k, record) in h.join().expect("worker panicked") {
+                slots[k] = Some(record);
+            }
+        }
+    });
+    let records: Vec<RunRecord> = slots
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect();
+
+    let summaries = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, sc)| {
+            // Group by grid index, not name: two scenarios may share a
+            // name, and each still gets its own summary.
+            let mine: Vec<&RunRecord> = jobs
+                .iter()
+                .zip(&records)
+                .filter(|((j, _), _)| *j == i)
+                .map(|(_, r)| r)
+                .collect();
+            let ok: Vec<&&RunRecord> = mine.iter().filter(|r| r.error.is_none()).collect();
+            ScenarioSummary {
+                scenario: sc.name.clone(),
+                algorithm: sc.algorithm.clone(),
+                scheduler: sc.sched.label(),
+                n: sc.n,
+                passages: sc.passages,
+                runs: ok.len(),
+                failures: mine.len() - ok.len(),
+                sc: ModelSummary::of(ok.iter().map(|r| r.sc).collect()),
+                cc: ModelSummary::of(ok.iter().map(|r| r.cc).collect()),
+                dsm: ModelSummary::of(ok.iter().map(|r| r.dsm).collect()),
+            }
+        })
+        .collect();
+
+    SweepReport { records, summaries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SchedSpec;
+
+    fn grid() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for alg in ["dekker-tree", "peterson"] {
+            for sched in [
+                SchedSpec::RoundRobin,
+                SchedSpec::Random,
+                SchedSpec::Greedy,
+                SchedSpec::Stagger { stride: 8 },
+            ] {
+                out.push(
+                    Scenario::builder(alg, 4)
+                        .sched(sched)
+                        .seeds(0..6)
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_in_order() {
+        let scenarios = grid();
+        let report = sweep(&scenarios, &SweepOptions { threads: 3 });
+        // 2 algs × (rr 1 + greedy 1 + random 6 + stagger 6) = 28 runs.
+        assert_eq!(report.records.len(), 28);
+        assert_eq!(report.summaries.len(), 8);
+        // Grid order: records of scenario i precede those of i+1.
+        let mut last = 0usize;
+        for r in &report.records {
+            let i = scenarios.iter().position(|s| s.name == r.scenario).unwrap();
+            assert!(i >= last);
+            last = i;
+        }
+        for s in &report.summaries {
+            assert_eq!(s.failures, 0, "{}", s.scenario);
+            assert!(s.sc.min <= s.sc.p50 && s.sc.p50 <= s.sc.p90 && s.sc.p90 <= s.sc.max);
+            assert!(s.sc.min > 0, "{}", s.scenario);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let scenarios = grid();
+        let one = sweep(&scenarios, &SweepOptions { threads: 1 });
+        let four = sweep(&scenarios, &SweepOptions { threads: 4 });
+        let auto = sweep(&scenarios, &SweepOptions { threads: 0 });
+        assert_eq!(one, four);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn duplicate_scenario_names_get_separate_summaries() {
+        let sc = Scenario::builder("peterson", 3)
+            .name("same")
+            .sched(SchedSpec::Random)
+            .seeds(0..3)
+            .build()
+            .unwrap();
+        let report = sweep(&[sc.clone(), sc], &SweepOptions::default());
+        assert_eq!(report.records.len(), 6);
+        assert_eq!(report.summaries.len(), 2);
+        for s in &report.summaries {
+            assert_eq!(s.runs, 3, "each summary counts only its own grid slice");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_fatal() {
+        let sc = Scenario::builder("bakery", 4)
+            .sched(SchedSpec::RoundRobin)
+            .max_steps(3)
+            .build()
+            .unwrap();
+        let report = sweep(&[sc], &SweepOptions::default());
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].error.is_some());
+        assert_eq!(report.summaries[0].runs, 0);
+        assert_eq!(report.summaries[0].failures, 1);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s = ModelSummary::of(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 60); // nearest-rank on 10 values
+        assert_eq!(s.p90, 90);
+        assert!((s.mean - 55.0).abs() < 1e-9);
+        assert_eq!(ModelSummary::of(vec![]).max, 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Scenario descriptions: which algorithm, at what size, under which
+//! contention pattern, over which seed grid.
+
+use std::error::Error;
+use std::fmt;
+
+use exclusion_mutex::AnyAlgorithm;
+use exclusion_shmem::sched::{Burst, GreedyAdversary, Random, RoundRobin, Sequential, Stagger};
+use exclusion_shmem::{ProcessId, Scheduler};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A scheduling policy, by description. Where [`Scheduler`]s are live
+/// stateful objects, a `SchedSpec` is a value: comparable, printable,
+/// and buildable any number of times (once per run of a sweep).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchedSpec {
+    /// The canonical no-contention schedule in identity order.
+    Sequential,
+    /// Deterministic fair interleaving.
+    RoundRobin,
+    /// Uniform random fair interleaving; one run per seed.
+    Random,
+    /// The greedy cost-maximizing adversary.
+    Greedy,
+    /// Phased arrival in waves of `wave` processes every `gap` steps.
+    Burst {
+        /// Processes per wave.
+        wave: usize,
+        /// Steps between waves.
+        gap: usize,
+    },
+    /// Staggered arrival: the i-th *arrival* is enabled at `i * stride`
+    /// steps, with the arrival order drawn from the run's seed.
+    Stagger {
+        /// Steps between consecutive arrivals.
+        stride: usize,
+    },
+}
+
+impl SchedSpec {
+    /// Whether runs of this spec depend on the seed (and a seed grid is
+    /// therefore worth sweeping).
+    #[must_use]
+    pub fn is_seeded(&self) -> bool {
+        matches!(self, SchedSpec::Random | SchedSpec::Stagger { .. })
+    }
+
+    /// A stable label for reports (e.g. `"burst(w2,g16)"`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SchedSpec::Sequential => "sequential".into(),
+            SchedSpec::RoundRobin => "round-robin".into(),
+            SchedSpec::Random => "random".into(),
+            SchedSpec::Greedy => "greedy-adversary".into(),
+            SchedSpec::Burst { wave, gap } => format!("burst(w{wave},g{gap})"),
+            SchedSpec::Stagger { stride } => format!("stagger(s{stride})"),
+        }
+    }
+
+    /// Parses a CLI spelling: `sequential`, `round-robin`, `random`,
+    /// `greedy`, `burst` / `burst:WxG`, `stagger` / `stagger:S`.
+    /// Defaults scale with `n`: waves of `⌈n/2⌉` every `2n` steps,
+    /// stagger stride `2n`.
+    #[must_use]
+    pub fn parse(s: &str, n: usize) -> Option<SchedSpec> {
+        let (head, param) = match s.split_once(':') {
+            Some((h, p)) => (h, Some(p)),
+            None => (s, None),
+        };
+        match (head, param) {
+            ("sequential" | "seq", None) => Some(SchedSpec::Sequential),
+            ("round-robin" | "rr", None) => Some(SchedSpec::RoundRobin),
+            ("random", None) => Some(SchedSpec::Random),
+            ("greedy" | "greedy-adversary" | "adversary", None) => Some(SchedSpec::Greedy),
+            ("burst", None) => Some(SchedSpec::Burst {
+                wave: n.div_ceil(2).max(1),
+                gap: 2 * n,
+            }),
+            ("burst", Some(p)) => {
+                let (w, g) = p.split_once('x')?;
+                Some(SchedSpec::Burst {
+                    wave: w.parse().ok().filter(|&w: &usize| w > 0)?,
+                    gap: g.parse().ok()?,
+                })
+            }
+            ("stagger", None) => Some(SchedSpec::Stagger { stride: 2 * n }),
+            ("stagger", Some(p)) => Some(SchedSpec::Stagger {
+                stride: p.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Builds a live scheduler for `n` processes driven to `passages`
+    /// passages each. `seed` feeds the seeded specs ([`Random`], and
+    /// the arrival order of [`Stagger`](SchedSpec::Stagger)); unseeded
+    /// specs ignore it. Only [`Sequential`] needs `passages` (its order
+    /// encodes the target); the drivers take the target from the run.
+    #[must_use]
+    pub fn build(&self, n: usize, passages: usize, seed: u64) -> Box<dyn Scheduler> {
+        match *self {
+            SchedSpec::Sequential => {
+                let mut order = Vec::with_capacity(n * passages);
+                for _ in 0..passages {
+                    order.extend(ProcessId::all(n));
+                }
+                Box::new(Sequential::new(order))
+            }
+            SchedSpec::RoundRobin => Box::new(RoundRobin::new()),
+            SchedSpec::Random => Box::new(Random::new(seed)),
+            SchedSpec::Greedy => Box::new(GreedyAdversary::new()),
+            SchedSpec::Burst { wave, gap } => Box::new(Burst::new(wave, gap)),
+            SchedSpec::Stagger { stride } => {
+                // Arrival *order* is the seeded part: the i-th arriving
+                // process is enabled at i*stride.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+                let mut enable = vec![0usize; n];
+                for (rank, &p) in order.iter().enumerate() {
+                    enable[p] = rank * stride;
+                }
+                Box::new(Stagger::new(enable))
+            }
+        }
+    }
+}
+
+/// A scenario: one algorithm at one size, driven to a passage count by
+/// one scheduling policy, over a seed grid. Built with
+/// [`Scenario::builder`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scenario {
+    /// Report name, unique within a sweep.
+    pub name: String,
+    /// Algorithm name as understood by [`AnyAlgorithm::by_name`].
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Passages every process completes.
+    pub passages: usize,
+    /// The scheduling policy.
+    pub sched: SchedSpec,
+    /// Seed grid. Unseeded policies run once (on the first seed).
+    pub seeds: Vec<u64>,
+    /// Step budget per run.
+    pub max_steps: usize,
+}
+
+impl Scenario {
+    /// Starts building a scenario for `algorithm` at `n` processes.
+    #[must_use]
+    pub fn builder(algorithm: impl Into<String>, n: usize) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: None,
+            algorithm: algorithm.into(),
+            n,
+            passages: 1,
+            sched: SchedSpec::RoundRobin,
+            seeds: vec![0],
+            max_steps: 50_000_000,
+        }
+    }
+
+    /// The seeds this scenario actually runs: the full grid for seeded
+    /// policies, the first seed only for deterministic ones.
+    #[must_use]
+    pub fn effective_seeds(&self) -> &[u64] {
+        if self.sched.is_seeded() {
+            &self.seeds
+        } else {
+            &self.seeds[..1]
+        }
+    }
+}
+
+/// Builder for [`Scenario`]; validates on [`build`](ScenarioBuilder::build).
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    name: Option<String>,
+    algorithm: String,
+    n: usize,
+    passages: usize,
+    sched: SchedSpec,
+    seeds: Vec<u64>,
+    max_steps: usize,
+}
+
+impl ScenarioBuilder {
+    /// Overrides the auto-derived report name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Passages every process completes (default 1).
+    #[must_use]
+    pub fn passages(mut self, passages: usize) -> Self {
+        self.passages = passages;
+        self
+    }
+
+    /// The scheduling policy (default round-robin).
+    #[must_use]
+    pub fn sched(mut self, sched: SchedSpec) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// The seed grid (default `[0]`).
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Step budget per run (default 50 million).
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown algorithm names, `n = 0`, `passages = 0`, an
+    /// empty seed grid, and a zero step budget.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.n == 0 {
+            return Err(ScenarioError::ZeroProcesses);
+        }
+        if self.passages == 0 {
+            return Err(ScenarioError::ZeroPassages);
+        }
+        if self.seeds.is_empty() {
+            return Err(ScenarioError::NoSeeds);
+        }
+        if self.max_steps == 0 {
+            return Err(ScenarioError::NoBudget);
+        }
+        if AnyAlgorithm::by_name(&self.algorithm, self.n.max(2)).is_none() {
+            return Err(ScenarioError::UnknownAlgorithm(self.algorithm));
+        }
+        let name = self.name.unwrap_or_else(|| {
+            format!(
+                "{}/{}/n{}x{}",
+                self.algorithm,
+                self.sched.label(),
+                self.n,
+                self.passages
+            )
+        });
+        Ok(Scenario {
+            name,
+            algorithm: self.algorithm,
+            n: self.n,
+            passages: self.passages,
+            sched: self.sched,
+            seeds: self.seeds,
+            max_steps: self.max_steps,
+        })
+    }
+}
+
+/// Why a [`ScenarioBuilder`] refused to build.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScenarioError {
+    /// The algorithm name is not in [`AnyAlgorithm`]'s suite.
+    UnknownAlgorithm(String),
+    /// `n = 0`.
+    ZeroProcesses,
+    /// `passages = 0`.
+    ZeroPassages,
+    /// The seed grid is empty.
+    NoSeeds,
+    /// `max_steps = 0`.
+    NoBudget,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnknownAlgorithm(name) => {
+                write!(
+                    f,
+                    "unknown algorithm `{name}` (see `AnyAlgorithm::full_suite`)"
+                )
+            }
+            ScenarioError::ZeroProcesses => write!(f, "a scenario needs at least one process"),
+            ScenarioError::ZeroPassages => write!(f, "a scenario needs at least one passage"),
+            ScenarioError::NoSeeds => write!(f, "a scenario needs at least one seed"),
+            ScenarioError::NoBudget => write!(f, "a scenario needs a positive step budget"),
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_derives_names_and_validates() {
+        let sc = Scenario::builder("dekker-tree", 8)
+            .passages(2)
+            .sched(SchedSpec::Greedy)
+            .seeds(0..4)
+            .build()
+            .unwrap();
+        assert_eq!(sc.name, "dekker-tree/greedy-adversary/n8x2");
+        // Greedy is deterministic: only one effective seed.
+        assert_eq!(sc.effective_seeds(), &[0]);
+
+        let err = Scenario::builder("no-such-lock", 4).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownAlgorithm(_)));
+        assert!(Scenario::builder("bakery", 0).build().is_err());
+        assert!(Scenario::builder("bakery", 4).seeds([]).build().is_err());
+        assert!(Scenario::builder("bakery", 4).passages(0).build().is_err());
+        assert!(Scenario::builder("bakery", 4).max_steps(0).build().is_err());
+    }
+
+    #[test]
+    fn parse_covers_every_spelling() {
+        assert_eq!(SchedSpec::parse("rr", 8), Some(SchedSpec::RoundRobin));
+        assert_eq!(SchedSpec::parse("seq", 8), Some(SchedSpec::Sequential));
+        assert_eq!(SchedSpec::parse("random", 8), Some(SchedSpec::Random));
+        assert_eq!(SchedSpec::parse("greedy", 8), Some(SchedSpec::Greedy));
+        assert_eq!(
+            SchedSpec::parse("burst", 8),
+            Some(SchedSpec::Burst { wave: 4, gap: 16 })
+        );
+        assert_eq!(
+            SchedSpec::parse("burst:2x32", 8),
+            Some(SchedSpec::Burst { wave: 2, gap: 32 })
+        );
+        assert_eq!(
+            SchedSpec::parse("stagger:5", 8),
+            Some(SchedSpec::Stagger { stride: 5 })
+        );
+        assert_eq!(SchedSpec::parse("burst:0x4", 8), None);
+        assert_eq!(SchedSpec::parse("nope", 8), None);
+    }
+
+    #[test]
+    fn sequential_build_honors_the_passage_target() {
+        use exclusion_shmem::sched::run_scheduler;
+        let alg = AnyAlgorithm::by_name("peterson", 3).unwrap();
+        let mut sched = SchedSpec::Sequential.build(3, 2, 0);
+        let exec = run_scheduler(&alg, sched.as_mut(), 2, 1_000_000).unwrap();
+        assert_eq!(exec.critical_order().len(), 6, "3 processes x 2 passages");
+    }
+
+    #[test]
+    fn stagger_arrival_order_depends_on_seed() {
+        let spec = SchedSpec::Stagger { stride: 10 };
+        assert!(spec.is_seeded());
+        // Different seeds shuffle arrivals differently for most seeds;
+        // just check both build and are usable.
+        let mut a = spec.build(6, 1, 1);
+        let mut b = spec.build(6, 1, 2);
+        assert_eq!(a.name(), "stagger");
+        assert_eq!(b.name(), "stagger");
+        use exclusion_mutex::AnyAlgorithm;
+        use exclusion_shmem::sched::run_scheduler;
+        let alg = AnyAlgorithm::by_name("peterson", 6).unwrap();
+        let ea = run_scheduler(&alg, a.as_mut(), 1, 10_000_000).unwrap();
+        let eb = run_scheduler(&alg, b.as_mut(), 1, 10_000_000).unwrap();
+        assert!(ea.mutual_exclusion(6));
+        assert!(eb.mutual_exclusion(6));
+    }
+}

@@ -1,0 +1,87 @@
+//! Drive the adversarial scenario engine: sweep the register-only suite
+//! under the greedy cost-maximizing adversary, random fair schedules,
+//! and burst/staggered arrivals — sharded across all cores — and show
+//! how much SC cost each scheduling pattern extracts over the canonical
+//! (no-contention) baseline.
+//!
+//! ```text
+//! cargo run --release --example adversary_sweep [n] [passages]
+//! ```
+
+use exclusion::workload::{sweep, Scenario, SchedSpec, SweepOptions};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let passages: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let algorithms = [
+        "dekker-tree",
+        "peterson",
+        "bakery",
+        "dijkstra",
+        "burns-lynch",
+    ];
+    let patterns = [
+        SchedSpec::Sequential,
+        SchedSpec::Random,
+        SchedSpec::Greedy,
+        SchedSpec::Burst {
+            wave: n.div_ceil(2).max(1),
+            gap: 2 * n,
+        },
+        SchedSpec::Stagger { stride: 2 * n },
+    ];
+
+    let mut scenarios = Vec::new();
+    for alg in algorithms {
+        for sched in &patterns {
+            scenarios.push(
+                Scenario::builder(alg, n)
+                    .passages(passages)
+                    .sched(sched.clone())
+                    .seeds(1..=12)
+                    .build()
+                    .expect("valid scenario"),
+            );
+        }
+    }
+
+    let report = sweep(&scenarios, &SweepOptions::default());
+    println!("{}", report.to_text());
+
+    println!("adversary pressure (max SC cost / canonical sequential SC cost):");
+    for alg in algorithms {
+        let sc_of = |sched: &str| {
+            report
+                .summaries
+                .iter()
+                .find(|s| s.algorithm == alg && s.scheduler == sched)
+                .map_or(0, |s| s.sc.max)
+        };
+        let base = sc_of("sequential").max(1);
+        println!(
+            "{:>12}: greedy {:>5.2}x   random {:>5.2}x   burst {:>5.2}x   stagger {:>5.2}x",
+            alg,
+            sc_of("greedy-adversary") as f64 / base as f64,
+            sc_of("random") as f64 / base as f64,
+            report
+                .summaries
+                .iter()
+                .find(|s| s.algorithm == alg && s.scheduler.starts_with("burst"))
+                .map_or(0, |s| s.sc.max) as f64
+                / base as f64,
+            report
+                .summaries
+                .iter()
+                .find(|s| s.algorithm == alg && s.scheduler.starts_with("stagger"))
+                .map_or(0, |s| s.sc.max) as f64
+                / base as f64,
+        );
+    }
+}

@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 s
             }
         };
-        println!("  {:>4}  {:?}  {:>12}  {desc}", m.id().to_string(), m.kind(), reg);
+        println!(
+            "  {:>4}  {:?}  {:>12}  {desc}",
+            m.id().to_string(),
+            m.kind(),
+            reg
+        );
     }
 
     println!("\npartial-order edges (direct):");
@@ -73,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let (bytes, bits) = enc.to_bits();
-    println!("\nserialized: {bits} bits for C = {} state changes", c.cost());
+    println!(
+        "\nserialized: {bits} bits for C = {} state changes",
+        c.cost()
+    );
     let bit_string: String = (0..bits)
         .map(|i| {
             if bytes[i / 8] >> (i % 8) & 1 == 1 {

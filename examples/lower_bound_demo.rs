@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "dekker-tree".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dekker-tree".into());
     println!(
         "{:>4} {:>8} {:>8} {:>8} {:>10} {:>10} {:>8}",
         "n", "min C", "avg C", "max C", "log2(n!)", "max bits", "bits/C"

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Encode to a self-delimiting bit string of O(C) bits …
     let (bytes, bits) = encode(&c).to_bits();
-    println!("|E_π|     : {bits} bits ({:.2} bits per unit of cost)", bits as f64 / cost as f64);
+    println!(
+        "|E_π|     : {bits} bits ({:.2} bits per unit of cost)",
+        bits as f64 / cost as f64
+    );
 
     // 4. … and decode it back — without π — recovering a linearization
     //    whose critical-section order is exactly π.
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let decoded = decode(&alg, &enc)?;
     assert!(c.is_linearization(&decoded));
     assert_eq!(decoded.critical_order(), pi.order());
-    println!("decoded   : {} steps, critical order recovered ✓", decoded.len());
+    println!(
+        "decoded   : {} steps, critical order recovered ✓",
+        decoded.len()
+    );
 
     Ok(())
 }

@@ -16,7 +16,11 @@
 //!   `encode` (Figure 2), `decode` (Figure 3), and validators for every
 //!   theorem;
 //! * [`spin`] — real-hardware locks on `std::sync::atomic` mirroring
-//!   the simulated family.
+//!   the simulated family;
+//! * [`workload`] — the adversarial scenario engine: pluggable
+//!   schedulers (greedy cost-maximizing adversary, burst and staggered
+//!   arrivals), scenario grids, and parallel sharded sweeps pricing
+//!   executions under all three cost models.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! the paper-to-code mapping, and `EXPERIMENTS.md` for the reproduced
@@ -53,3 +57,4 @@ pub use exclusion_lb as lb;
 pub use exclusion_mutex as mutex;
 pub use exclusion_shmem as shmem;
 pub use exclusion_spin as spin;
+pub use exclusion_workload as workload;

@@ -67,7 +67,11 @@ fn cc_dominates_sc_for_single_register_spins() {
     let alg = DekkerTournament::new(16);
     let exec = canonical(&alg);
     let (sc, cc, _) = all_costs(&alg, &exec).unwrap();
-    assert_eq!(sc.total(), cc.total(), "no contention: both charge every access");
+    assert_eq!(
+        sc.total(),
+        cc.total(),
+        "no contention: both charge every access"
+    );
 }
 
 #[test]
