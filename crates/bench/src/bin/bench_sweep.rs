@@ -1,0 +1,58 @@
+//! `bench_sweep` — the sweep benchmark: times the record+replay and
+//! streaming pricing engines on the same adversarial grid and writes
+//! `BENCH_sweep.json`.
+//!
+//! ```text
+//! bench_sweep                        # full grid (n up to 64), BENCH_sweep.json
+//! bench_sweep --quick --out -       # shrunk grid, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any swept configuration errors or the two engines
+//! disagree — CI runs this as the perf smoke test.
+
+use std::process::ExitCode;
+
+use exclusion_bench::sweepbench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_sweep: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_sweep [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_sweep: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let configs = run(quick);
+    eprint!("{}", to_text(&configs));
+    let json = to_json(&configs, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_sweep: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&configs) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_sweep: some configurations failed or the engines disagreed");
+        ExitCode::FAILURE
+    }
+}

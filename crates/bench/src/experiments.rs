@@ -699,7 +699,10 @@ fn passage_spans(exec: &exclusion_shmem::Execution) -> Vec<(usize, usize)> {
 
 /// E13 — the scenario engine: SC/CC/DSM cost the workload schedulers
 /// extract from each register-only algorithm, against the canonical
-/// sequential baseline. The sweep itself runs sharded across all cores.
+/// sequential baseline. The sweep runs sharded across all cores on the
+/// streaming pricing path: each run is driven and priced in one pass,
+/// with no recorded executions and no replays (see `bench_sweep` for
+/// the streaming-vs-replay wall-clock numbers).
 #[must_use]
 pub fn e13_adversary_pressure(quick: bool) -> Table {
     use exclusion_workload::{sweep, Scenario, SchedSpec, SweepOptions};
@@ -743,7 +746,13 @@ pub fn e13_adversary_pressure(quick: bool) -> Table {
             })
         })
         .collect();
-    let report = sweep(&scenarios, &SweepOptions::default());
+    let report = sweep(
+        &scenarios,
+        &SweepOptions {
+            record: false, // the streaming single-pass pricing engine
+            ..SweepOptions::default()
+        },
+    );
     for s in &report.summaries {
         let seq_sc = report
             .summaries

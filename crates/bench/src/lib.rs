@@ -1,6 +1,8 @@
 //! The experiment harness: every table of EXPERIMENTS.md is regenerated
 //! by a function in [`experiments`], and `cargo run -p exclusion-bench
-//! --bin tables` prints them all.
+//! --bin tables` prints them all. The `bench_sweep` binary (module
+//! [`sweepbench`]) times the streaming pricing engine against the
+//! record+replay one and emits `BENCH_sweep.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -11,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweepbench;
 pub mod table;
 
 pub use table::Table;

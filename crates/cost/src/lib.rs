@@ -16,8 +16,16 @@
 //!   access to a register whose home is not the acting process costs one
 //!   (homes are declared by [`Automaton::register_home`]).
 //!
-//! All models are computed by deterministic replay, so they apply to any
-//! recorded [`Execution`].
+//! All three models exist in two computations that are pinned
+//! bit-identical by tests:
+//!
+//! * **replay-based** — [`sc_cost`], [`cc_cost`], [`dsm_cost`],
+//!   [`all_costs`]: deterministic replay of a recorded [`Execution`]
+//!   (three separate re-executions for `all_costs`);
+//! * **streaming** — [`CostTracker`] prices SC, CC and DSM *online* from
+//!   [`Executed`] outcomes as a run produces them, and [`run_priced`]
+//!   drives any scheduler through `run_scheduler_with` without recording
+//!   anything — one pass, O(1) pricing per step.
 //!
 //! # Example
 //!
@@ -37,32 +45,51 @@
 //! assert!(cc_cost(&alg, &exec).unwrap().total() > 0);
 //! assert!(dsm_cost(&alg, &exec).unwrap().total() > 0);
 //! ```
+//!
+//! Streaming, without recording the execution:
+//!
+//! ```
+//! use exclusion_cost::run_priced;
+//! use exclusion_mutex::DekkerTournament;
+//! use exclusion_shmem::sched::GreedyAdversary;
+//!
+//! let alg = DekkerTournament::new(8);
+//! let priced = run_priced(&alg, &mut GreedyAdversary::new(), 1, 100_000).unwrap();
+//! assert!(priced.sc.total() > 0);
+//! assert!(priced.steps > 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
-use exclusion_shmem::{replay, Automaton, Execution, ProcessId, RegisterId, ReplayError, Step};
+use exclusion_shmem::sched::run_scheduler_with;
+use exclusion_shmem::{
+    replay, Automaton, Executed, Execution, ProcessId, RegisterId, ReplayError, RunError,
+    Scheduler, Step,
+};
 
 /// A cost total with per-process and per-register breakdowns.
+///
+/// Both breakdowns are dense vectors indexed by id (process and register
+/// counts are known from the automaton), so charging is two array
+/// increments — no hashing on the charge path.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct CostReport {
     per_process: Vec<usize>,
-    per_register: HashMap<RegisterId, usize>,
+    per_register: Vec<usize>,
 }
 
 impl CostReport {
-    fn new(n: usize) -> Self {
+    fn new(processes: usize, registers: usize) -> Self {
         CostReport {
-            per_process: vec![0; n],
-            per_register: HashMap::new(),
+            per_process: vec![0; processes],
+            per_register: vec![0; registers],
         }
     }
 
     fn charge(&mut self, pid: ProcessId, reg: RegisterId) {
         self.per_process[pid.index()] += 1;
-        *self.per_register.entry(reg).or_insert(0) += 1;
+        self.per_register[reg.index()] += 1;
     }
 
     /// Total cost over all processes.
@@ -86,7 +113,13 @@ impl CostReport {
     /// Cost attributed to accesses of one register.
     #[must_use]
     pub fn register(&self, reg: RegisterId) -> usize {
-        self.per_register.get(&reg).copied().unwrap_or(0)
+        self.per_register.get(reg.index()).copied().unwrap_or(0)
+    }
+
+    /// Cost attributed per register, indexed by register.
+    #[must_use]
+    pub fn per_register(&self) -> &[usize] {
+        &self.per_register
     }
 
     /// The maximum cost any single process was charged.
@@ -103,7 +136,7 @@ impl CostReport {
 ///
 /// Returns [`ReplayError`] if the execution was not produced by `alg`.
 pub fn sc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
-    let mut report = CostReport::new(alg.processes());
+    let mut report = CostReport::new(alg.processes(), alg.registers());
     replay(alg, exec.steps(), |o| {
         if o.state_changed {
             if let Some(reg) = o.step.register() {
@@ -128,7 +161,7 @@ pub fn sc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, Re
 pub fn cc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
     let n = alg.processes();
     let regs = alg.registers();
-    let mut report = CostReport::new(n);
+    let mut report = CostReport::new(n, regs);
     // cached[p][ℓ]: does p hold a valid copy of ℓ?
     let mut cached = vec![vec![false; regs]; n];
     replay(alg, exec.steps(), |o| match o.step {
@@ -158,7 +191,7 @@ pub fn cc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, Re
 ///
 /// Returns [`ReplayError`] if the execution was not produced by `alg`.
 pub fn dsm_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
-    let mut report = CostReport::new(alg.processes());
+    let mut report = CostReport::new(alg.processes(), alg.registers());
     replay(alg, exec.steps(), |o| {
         if let Some(reg) = o.step.register() {
             if alg.register_home(reg) != Some(o.step.pid()) {
@@ -183,6 +216,179 @@ pub fn all_costs<A: Automaton>(
         cc_cost(alg, exec)?,
         dsm_cost(alg, exec)?,
     ))
+}
+
+/// Streaming pricer: accumulates the SC, CC and DSM costs of a run
+/// online, one [`Executed`] outcome at a time, with O(1) work per step —
+/// no recorded execution, no replays.
+///
+/// The CC model's write-invalidation is tracked with epoch counters
+/// (`valid(p, ℓ) ⇔ p touched ℓ after the last write to ℓ`) instead of
+/// clearing an n-entry cache column per write, so even writes are O(1).
+/// Totals and breakdowns are bit-identical to the replay-based pricers
+/// ([`sc_cost`], [`cc_cost`], [`dsm_cost`]) on the recorded execution of
+/// the same run — pinned by the cross-suite equivalence tests.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_cost::{sc_cost, CostTracker};
+/// use exclusion_mutex::Peterson;
+/// use exclusion_shmem::{ProcessId, System};
+///
+/// let alg = Peterson::new(2);
+/// let mut sys = System::new(&alg);
+/// let mut tracker = CostTracker::new(&alg);
+/// let mut steps = Vec::new();
+/// let p0 = ProcessId::new(0);
+/// while sys.passages(p0) == 0 {
+///     let done = sys.step(p0);
+///     tracker.observe(&done);
+///     steps.push(done.step);
+/// }
+/// let replayed = sc_cost(&alg, &steps.into_iter().collect()).unwrap();
+/// assert_eq!(tracker.sc(), &replayed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CostTracker {
+    registers: usize,
+    sc: CostReport,
+    cc: CostReport,
+    dsm: CostReport,
+    /// Epoch at which process `p` last touched register `ℓ` (row-major
+    /// `p * registers + ℓ`); 0 means never.
+    touched: Vec<usize>,
+    /// Epoch of the last write (or RMW) to each register.
+    invalidated: Vec<usize>,
+    /// Strictly increasing step clock, starting at 1.
+    clock: usize,
+    /// Home process of each register, precomputed from the automaton.
+    home: Vec<Option<ProcessId>>,
+}
+
+impl CostTracker {
+    /// A tracker for runs of `alg`, starting from zero cost.
+    #[must_use]
+    pub fn new<A: Automaton>(alg: &A) -> Self {
+        let n = alg.processes();
+        let registers = alg.registers();
+        CostTracker {
+            registers,
+            sc: CostReport::new(n, registers),
+            cc: CostReport::new(n, registers),
+            dsm: CostReport::new(n, registers),
+            touched: vec![0; n * registers],
+            invalidated: vec![0; registers],
+            clock: 0,
+            home: RegisterId::all(registers)
+                .map(|r| alg.register_home(r))
+                .collect(),
+        }
+    }
+
+    /// Prices one executed step under all three models.
+    pub fn observe(&mut self, done: &Executed) {
+        self.clock += 1;
+        let step = done.step;
+        if done.state_changed {
+            if let Some(reg) = step.register() {
+                self.sc.charge(step.pid(), reg);
+            }
+        }
+        match step {
+            Step::Read { pid, reg } => {
+                let cell = &mut self.touched[pid.index() * self.registers + reg.index()];
+                if *cell == 0 || *cell < self.invalidated[reg.index()] {
+                    self.cc.charge(pid, reg);
+                }
+                *cell = self.clock;
+            }
+            // RMW claims the line exclusively, like a write.
+            Step::Write { pid, reg, .. } | Step::Rmw { pid, reg, .. } => {
+                self.cc.charge(pid, reg);
+                self.invalidated[reg.index()] = self.clock;
+                self.touched[pid.index() * self.registers + reg.index()] = self.clock;
+            }
+            Step::Crit { .. } => {}
+        }
+        if let Some(reg) = step.register() {
+            if self.home[reg.index()] != Some(step.pid()) {
+                self.dsm.charge(step.pid(), reg);
+            }
+        }
+    }
+
+    /// Steps priced so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.clock
+    }
+
+    /// The state-change cost accumulated so far.
+    #[must_use]
+    pub fn sc(&self) -> &CostReport {
+        &self.sc
+    }
+
+    /// The cache-coherent cost accumulated so far.
+    #[must_use]
+    pub fn cc(&self) -> &CostReport {
+        &self.cc
+    }
+
+    /// The distributed-shared-memory cost accumulated so far.
+    #[must_use]
+    pub fn dsm(&self) -> &CostReport {
+        &self.dsm
+    }
+
+    /// Consumes the tracker, returning `(sc, cc, dsm)`.
+    #[must_use]
+    pub fn into_reports(self) -> (CostReport, CostReport, CostReport) {
+        (self.sc, self.cc, self.dsm)
+    }
+}
+
+/// All three costs of one streamed run, plus its length — what
+/// [`run_priced`] returns instead of a recorded execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PricedRun {
+    /// Steps the run took.
+    pub steps: usize,
+    /// State-change (SC) cost.
+    pub sc: CostReport,
+    /// Cache-coherent (CC) cost.
+    pub cc: CostReport,
+    /// Distributed-shared-memory (DSM) cost.
+    pub dsm: CostReport,
+}
+
+/// Drives `sched` over a fresh system of `alg` and prices the run under
+/// all three cost models in the same single pass — nothing is recorded
+/// and nothing is replayed. This is the streaming counterpart of
+/// `run_scheduler` + [`all_costs`], with identical results (bit-for-bit,
+/// pinned by tests) at a quarter of the automaton evaluations.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the scheduler keeps picking processes past
+/// `max_steps`.
+pub fn run_priced<A, S>(
+    alg: &A,
+    sched: &mut S,
+    passages: usize,
+    max_steps: usize,
+) -> Result<PricedRun, RunError>
+where
+    A: Automaton,
+    S: Scheduler + ?Sized,
+{
+    let mut tracker = CostTracker::new(alg);
+    let steps = run_scheduler_with(alg, sched, passages, max_steps, |done| {
+        tracker.observe(done);
+    })?;
+    let (sc, cc, dsm) = tracker.into_reports();
+    Ok(PricedRun { steps, sc, cc, dsm })
 }
 
 #[cfg(test)]
@@ -316,6 +522,38 @@ mod tests {
             assert!(cc.total() > 0, "{}", alg.name());
             assert!(dsm.total() > 0, "{}", alg.name());
         }
+    }
+
+    #[test]
+    fn streaming_tracker_matches_replay_pricers_under_contention() {
+        use exclusion_shmem::sched::{run_scheduler, GreedyAdversary, Random};
+        for alg in AnyAlgorithm::full_suite(4) {
+            let exec = run_scheduler(&alg, &mut Random::new(11), 2, 50_000_000).unwrap();
+            let (sc, cc, dsm) = all_costs(&alg, &exec).unwrap();
+            let priced = run_priced(&alg, &mut Random::new(11), 2, 50_000_000).unwrap();
+            assert_eq!(priced.steps, exec.len(), "{}", alg.name());
+            assert_eq!(priced.sc, sc, "{}", alg.name());
+            assert_eq!(priced.cc, cc, "{}", alg.name());
+            assert_eq!(priced.dsm, dsm, "{}", alg.name());
+
+            let exec = run_scheduler(&alg, &mut GreedyAdversary::new(), 2, 50_000_000).unwrap();
+            let replayed = all_costs(&alg, &exec).unwrap();
+            let priced = run_priced(&alg, &mut GreedyAdversary::new(), 2, 50_000_000).unwrap();
+            assert_eq!(
+                (priced.sc, priced.cc, priced.dsm),
+                replayed,
+                "{} under greedy",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_priced_propagates_budget_exhaustion() {
+        use exclusion_shmem::sched::RoundRobin;
+        let alg = Bakery::new(4);
+        let err = run_priced(&alg, &mut RoundRobin::new(), 1, 3).unwrap_err();
+        assert_eq!(err.limit, 3);
     }
 
     #[test]

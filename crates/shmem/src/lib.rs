@@ -59,6 +59,6 @@ pub use error::{ReplayError, RunError};
 pub use execution::Execution;
 pub use ids::{ProcessId, RegisterId, Value};
 pub use replay::{replay, replay_collect, StepOutcome};
-pub use sched::{ProcessView, SchedContext, Scheduler};
+pub use sched::{ProcessView, SchedContext, Scheduler, ViewTable};
 pub use step::{CritKind, Step, StepType};
-pub use system::{Section, System};
+pub use system::{Executed, Section, System};

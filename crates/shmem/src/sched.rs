@@ -37,6 +37,27 @@
 //! Implementors must also only ever pick **live** processes (ones with
 //! `done == false`); picking a finished process would start an unwanted
 //! extra passage, and the driver rejects it with a debug assertion.
+//!
+//! # The incremental-view contract
+//!
+//! The driver does **not** rebuild the views from scratch on every step
+//! (that would cost Θ(n) `peek`/`observe` evaluations per simulated
+//! step). It maintains them in a [`ViewTable`] and, after a step,
+//! refreshes only what the step could have changed:
+//!
+//! * the acting process's whole view (its state, section, passage count
+//!   and pending step are the only ones that can move);
+//! * the `changes_state` preview of every process whose pending read or
+//!   RMW targets the register the step wrote, found via a per-register
+//!   waiter index (a write can flip exactly those previews — a pending
+//!   write/crit preview depends only on the acting process's own state).
+//!
+//! The per-step cost is therefore O(1 + affected) instead of Θ(n). A
+//! custom [`Scheduler`] may rely on the views it sees being *exactly*
+//! what a fresh rebuild would produce (pinned by tests), and a custom
+//! driver that wants the same guarantee can use [`ViewTable`] directly:
+//! construct it with [`ViewTable::new`], and call [`ViewTable::apply`]
+//! with the [`Executed`] outcome of every step it performs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +65,9 @@ use rand::{Rng, SeedableRng};
 use crate::automaton::{Automaton, NextStep};
 use crate::error::RunError;
 use crate::execution::Execution;
-use crate::ids::ProcessId;
-use crate::system::{Section, System};
+use crate::ids::{ProcessId, RegisterId};
+use crate::step::Step;
+use crate::system::{Executed, Section, System};
 
 /// What a scheduler is allowed to see about one process before picking:
 /// bookkeeping plus a preview of the process's pending step.
@@ -85,7 +107,15 @@ impl ProcessView {
 #[derive(Clone, Copy, Debug)]
 pub struct SchedContext<'a> {
     /// Global index of the step about to be scheduled (0-based); doubles
-    /// as the arrival clock for [`Burst`] and [`Stagger`].
+    /// as the arrival clock for [`Burst`] and [`Stagger`] and as the
+    /// pick clock for [`GreedyAdversary`]'s starvation valve. Drivers
+    /// must pass `0` on a run's first pick and increase it by one per
+    /// executed step; the built-in schedulers whose picks depend on
+    /// per-run history ([`Sequential`], [`GreedyAdversary`]) treat a
+    /// pick at step `0` as the start of a fresh run and reset that
+    /// history. (The rotation-based schedulers keep their cursor, and
+    /// [`Random`] its RNG stream — reusing those across runs is
+    /// well-defined but does not replay the first run's schedule.)
     pub step: usize,
     /// The passage count every process is driven to.
     pub target_passages: usize,
@@ -121,6 +151,25 @@ pub trait Scheduler {
     }
 }
 
+/// The single definition of what a process's view is — used both by the
+/// from-scratch rebuild and by [`ViewTable::apply`]'s incremental
+/// refresh, so the two cannot drift.
+fn view_of<A: Automaton>(
+    sys: &System<'_, A>,
+    pid: ProcessId,
+    passages: usize,
+    previews: bool,
+) -> ProcessView {
+    ProcessView {
+        pid,
+        section: sys.section(pid),
+        passages: sys.passages(pid),
+        done: sys.passages(pid) >= passages,
+        next: sys.peek(pid),
+        changes_state: previews && sys.step_changes_state(pid),
+    }
+}
+
 fn build_views<A: Automaton>(
     sys: &System<'_, A>,
     passages: usize,
@@ -128,16 +177,181 @@ fn build_views<A: Automaton>(
     out: &mut Vec<ProcessView>,
 ) {
     out.clear();
-    for p in ProcessId::all(sys.processes()) {
-        out.push(ProcessView {
-            pid: p,
-            section: sys.section(p),
-            passages: sys.passages(p),
-            done: sys.passages(p) >= passages,
-            next: sys.peek(p),
-            changes_state: previews && sys.step_changes_state(p),
-        });
+    out.extend(ProcessId::all(sys.processes()).map(|p| view_of(sys, p, passages, previews)));
+}
+
+/// Incrementally maintained [`ProcessView`]s over a live [`System`] —
+/// the table behind the drivers' O(1 + affected) per-step cost (see the
+/// module docs for the contract).
+///
+/// A `ViewTable` is always equal to what a from-scratch rebuild against
+/// the current system would produce; [`ViewTable::new`] *is* that
+/// rebuild, so the invariant is directly testable:
+///
+/// ```
+/// use exclusion_shmem::sched::ViewTable;
+/// use exclusion_shmem::testing::Alternator;
+/// use exclusion_shmem::{ProcessId, System};
+///
+/// let alg = Alternator::new(3);
+/// let mut sys = System::new(&alg);
+/// let mut table = ViewTable::new(&sys, 1, true);
+/// let done = sys.step(ProcessId::new(0));
+/// table.apply(&sys, 1, &done);
+/// assert_eq!(table.views(), ViewTable::new(&sys, 1, true).views());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ViewTable {
+    views: Vec<ProcessView>,
+    previews: bool,
+    /// `waiters[r]`: processes whose pending step reads or RMWs register
+    /// `r` — the only views whose `changes_state` preview a write to `r`
+    /// can flip. Maintained (non-empty) only when previews are on.
+    waiters: Vec<Vec<ProcessId>>,
+    /// `slot[p]`: where process `p` sits in the waiter index, if
+    /// anywhere, for O(1) un-enrollment.
+    slot: Vec<Option<(RegisterId, usize)>>,
+}
+
+impl ViewTable {
+    /// Builds the table from scratch against the system's current state:
+    /// one view per process, driven to `passages` target passages, with
+    /// `changes_state` previews populated iff `previews` is set.
+    #[must_use]
+    pub fn new<A: Automaton>(sys: &System<'_, A>, passages: usize, previews: bool) -> Self {
+        let n = sys.processes();
+        let mut table = ViewTable {
+            views: Vec::with_capacity(n),
+            previews,
+            waiters: vec![
+                Vec::new();
+                if previews {
+                    sys.algorithm().registers()
+                } else {
+                    0
+                }
+            ],
+            slot: vec![None; if previews { n } else { 0 }],
+        };
+        build_views(sys, passages, previews, &mut table.views);
+        if previews {
+            for p in ProcessId::all(n) {
+                table.enroll(p);
+            }
+        }
+        table
     }
+
+    /// The views, indexed by process.
+    #[must_use]
+    pub fn views(&self) -> &[ProcessView] {
+        &self.views
+    }
+
+    /// Updates the table after `sys` executed one step with outcome
+    /// `done`: the acting process's view is rebuilt, and — when previews
+    /// are on and the step wrote a register — the `changes_state`
+    /// preview of every process waiting on that register is
+    /// re-evaluated.
+    pub fn apply<A: Automaton>(&mut self, sys: &System<'_, A>, passages: usize, done: &Executed) {
+        let pid = done.step.pid();
+        self.views[pid.index()] = view_of(sys, pid, passages, self.previews);
+        if !self.previews {
+            return;
+        }
+        self.unenroll(pid);
+        self.enroll(pid);
+        if let Step::Write { reg, .. } | Step::Rmw { reg, .. } = done.step {
+            for k in 0..self.waiters[reg.index()].len() {
+                let q = self.waiters[reg.index()][k];
+                if q != pid {
+                    self.views[q.index()].changes_state = sys.step_changes_state(q);
+                }
+            }
+        }
+    }
+
+    fn enroll(&mut self, pid: ProcessId) {
+        let reg = match self.views[pid.index()].next {
+            NextStep::Read(r) | NextStep::Rmw(r, _) => r,
+            NextStep::Write(..) | NextStep::Crit(_) => return,
+        };
+        let list = &mut self.waiters[reg.index()];
+        self.slot[pid.index()] = Some((reg, list.len()));
+        list.push(pid);
+    }
+
+    fn unenroll(&mut self, pid: ProcessId) {
+        let Some((reg, k)) = self.slot[pid.index()].take() else {
+            return;
+        };
+        let list = &mut self.waiters[reg.index()];
+        list.swap_remove(k);
+        if let Some(&moved) = list.get(k) {
+            self.slot[moved.index()] = Some((reg, k));
+        }
+    }
+}
+
+/// Drives `sched` over a fresh system of `alg` until the scheduler
+/// returns `None` or the step budget is exhausted, invoking `sink` with
+/// the [`Executed`] outcome of every step as the run produces it — the
+/// streaming core shared by [`run_scheduler`] (whose sink records the
+/// execution) and the no-record pricing path (`exclusion-cost`'s
+/// `run_priced`, whose sink feeds a cost tracker). Returns the number of
+/// steps executed.
+///
+/// Views are maintained incrementally via [`ViewTable`], so the
+/// per-step bookkeeping is O(1 + affected), not Θ(n).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the scheduler keeps picking processes past
+/// `max_steps`.
+pub fn run_scheduler_with<A, S, F>(
+    alg: &A,
+    sched: &mut S,
+    passages: usize,
+    max_steps: usize,
+    mut sink: F,
+) -> Result<usize, RunError>
+where
+    A: Automaton,
+    S: Scheduler + ?Sized,
+    F: FnMut(&Executed),
+{
+    let n = alg.processes();
+    let mut sys = System::new(alg);
+    let mut table = ViewTable::new(&sys, passages, sched.wants_step_previews());
+    let mut executed = 0usize;
+    for step in 0..=max_steps {
+        let ctx = SchedContext {
+            step,
+            target_passages: passages,
+            views: table.views(),
+        };
+        match sched.pick(&ctx) {
+            None => return Ok(executed),
+            Some(p) if step < max_steps => {
+                debug_assert!(
+                    !table.views()[p.index()].done,
+                    "{} picked finished process {p}",
+                    sched.name()
+                );
+                let done = sys.step(p);
+                table.apply(&sys, passages, &done);
+                sink(&done);
+                executed += 1;
+            }
+            Some(_) => break,
+        }
+    }
+    let completed = table.views().iter().filter(|v| v.done).count();
+    Err(RunError {
+        limit: max_steps,
+        completed,
+        processes: n,
+    })
 }
 
 /// Drives `sched` over a fresh system of `alg` until the scheduler
@@ -159,37 +373,9 @@ where
     A: Automaton,
     S: Scheduler + ?Sized,
 {
-    let n = alg.processes();
-    let previews = sched.wants_step_previews();
-    let mut sys = System::new(alg);
     let mut exec = Execution::new();
-    let mut views = Vec::with_capacity(n);
-    for step in 0..=max_steps {
-        build_views(&sys, passages, previews, &mut views);
-        let ctx = SchedContext {
-            step,
-            target_passages: passages,
-            views: &views,
-        };
-        match sched.pick(&ctx) {
-            None => return Ok(exec),
-            Some(p) if step < max_steps => {
-                debug_assert!(
-                    !views[p.index()].done,
-                    "{} picked finished process {p}",
-                    sched.name()
-                );
-                exec.push(sys.step(p).step);
-            }
-            Some(_) => break,
-        }
-    }
-    let completed = views.iter().filter(|v| v.done).count();
-    Err(RunError {
-        limit: max_steps,
-        completed,
-        processes: n,
-    })
+    run_scheduler_with(alg, sched, passages, max_steps, |done| exec.push(done.step))?;
+    Ok(exec)
 }
 
 /// The canonical sequential schedule: each process of `order` runs one
@@ -198,6 +384,13 @@ where
 #[derive(Clone, Debug)]
 pub struct Sequential {
     order: Vec<ProcessId>,
+    /// First entry of `order` whose passage is not yet complete.
+    /// Passage counts never decrease, so the cursor only ever advances —
+    /// picks are amortized O(1) instead of rescanning the whole order.
+    cursor: usize,
+    /// `counts[p]`: occurrences of `p` among the completed entries
+    /// `order[..cursor]`; entry `cursor` is complete once `p` has
+    /// `counts[p] + 1` passages.
     counts: Vec<usize>,
 }
 
@@ -208,6 +401,7 @@ impl Sequential {
     pub fn new(order: Vec<ProcessId>) -> Self {
         Sequential {
             order,
+            cursor: 0,
             counts: Vec::new(),
         }
     }
@@ -219,13 +413,20 @@ impl Scheduler for Sequential {
     }
 
     fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
-        // `counts[p]` counts occurrences of p in the order walked so far;
-        // the k-th occurrence is complete once p has k passages.
-        self.counts.clear();
-        self.counts.resize(ctx.views.len(), 0);
-        for &p in &self.order {
-            self.counts[p.index()] += 1;
-            if ctx.views[p.index()].passages < self.counts[p.index()] {
+        // A pick at step 0 is the start of a (possibly new) run: reset,
+        // so a reused scheduler replays its order from the top.
+        if self.counts.len() != ctx.views.len() {
+            self.counts = vec![0; ctx.views.len()];
+            self.cursor = 0;
+        } else if ctx.step == 0 {
+            self.counts.fill(0);
+            self.cursor = 0;
+        }
+        while let Some(&p) = self.order.get(self.cursor) {
+            if ctx.views[p.index()].passages > self.counts[p.index()] {
+                self.counts[p.index()] += 1;
+                self.cursor += 1;
+            } else {
                 return Some(p);
             }
         }
@@ -323,9 +524,15 @@ impl Scheduler for Random {
 /// A starvation valve keeps the schedule fair in the paper's sense: any
 /// live process skipped `patience` consecutive picks is scheduled next,
 /// so livelock-free algorithms still terminate under the adversary.
+///
+/// Skip counts are derived from the pick clock (`ctx.step`) and the step
+/// at which each process was last picked, so a pick costs one fused pass
+/// over the views plus a single O(1) write — not the per-process counter
+/// sweep it used to.
 #[derive(Clone, Debug)]
 pub struct GreedyAdversary {
-    starvation: Vec<usize>,
+    /// `last_picked[p]`: the step at which `p` was last scheduled.
+    last_picked: Vec<Option<usize>>,
     patience: Option<usize>,
 }
 
@@ -334,7 +541,7 @@ impl GreedyAdversary {
     #[must_use]
     pub fn new() -> Self {
         GreedyAdversary {
-            starvation: Vec::new(),
+            last_picked: Vec::new(),
             patience: None,
         }
     }
@@ -345,7 +552,7 @@ impl GreedyAdversary {
     #[must_use]
     pub fn with_patience(patience: usize) -> Self {
         GreedyAdversary {
-            starvation: Vec::new(),
+            last_picked: Vec::new(),
             patience: Some(patience),
         }
     }
@@ -365,48 +572,61 @@ impl Scheduler for GreedyAdversary {
     fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
         let n = ctx.views.len();
         let patience = *self.patience.get_or_insert(4 * n + 4);
-        if self.starvation.len() != n {
-            self.starvation = vec![0; n];
+        // A pick at step 0 is the start of a (possibly new) run; stale
+        // entries would make `waited` underflow on a reused scheduler.
+        if self.last_picked.len() != n {
+            self.last_picked = vec![None; n];
+        } else if ctx.step == 0 {
+            self.last_picked.fill(None);
         }
-        let starved = ctx
-            .live()
-            .filter(|v| self.starvation[v.pid.index()] >= patience)
-            .max_by_key(|v| self.starvation[v.pid.index()]);
-        let choice = starved.or_else(|| {
-            ctx.live().min_by_key(|v| {
-                let class = match (v.next, v.changes_state) {
-                    // Recruit everyone into the trying section first:
-                    // contention needs participants.
-                    (NextStep::Crit(crate::step::CritKind::Try), _) => 0usize,
-                    // Charged writes/RMWs next: they fill the registers
-                    // other processes are about to read, steering those
-                    // reads onto their contended (expensive) paths.
-                    (NextStep::Write(..) | NextStep::Rmw(..), true) => 1,
-                    // Then harvest the reads those writes charged.
-                    (NextStep::Read(_), true) => 2,
-                    // Free critical progress only when nothing is
-                    // chargeable.
-                    (NextStep::Crit(_), _) => 3,
-                    // Free spins last: they cost nothing and learn
-                    // nothing.
-                    (_, false) => 4,
-                };
-                // Within a class: fewest passages (keep everyone in the
-                // game), then longest-unscheduled (advance the match
-                // fronts symmetrically, like round-robin does), then pid.
-                let waited = self.starvation[v.pid.index()];
-                (class, v.passages, std::cmp::Reverse(waited), v.pid.index())
-            })
-        });
-        let picked = choice?.pid;
+        // One pass computes both candidates. `waited` — picks since the
+        // process last ran — falls out of the pick clock: one pick per
+        // step, so a process last picked at step `s` has been skipped
+        // `step - s - 1` times (and a never-picked one `step` times).
+        // The pick ordering: class, then fewest passages, then
+        // longest-unscheduled, then pid.
+        type GreedyKey = (usize, usize, std::cmp::Reverse<usize>, usize);
+        let mut starved: Option<(usize, ProcessId)> = None;
+        let mut best: Option<(GreedyKey, ProcessId)> = None;
         for v in ctx.live() {
-            let s = &mut self.starvation[v.pid.index()];
-            if v.pid == picked {
-                *s = 0;
-            } else {
-                *s += 1;
+            // Saturating: a driver that re-polls at the same step (after
+            // discarding a pick) sees `waited = 0`, not an underflow.
+            let waited = match self.last_picked[v.pid.index()] {
+                Some(s) => ctx.step.saturating_sub(s + 1),
+                None => ctx.step,
+            };
+            // `>=` keeps the *latest* maximum, matching the counter-era
+            // tie-break among equally starved processes.
+            if waited >= patience && starved.is_none_or(|(w, _)| waited >= w) {
+                starved = Some((waited, v.pid));
+            }
+            let class = match (v.next, v.changes_state) {
+                // Recruit everyone into the trying section first:
+                // contention needs participants.
+                (NextStep::Crit(crate::step::CritKind::Try), _) => 0usize,
+                // Charged writes/RMWs next: they fill the registers
+                // other processes are about to read, steering those
+                // reads onto their contended (expensive) paths.
+                (NextStep::Write(..) | NextStep::Rmw(..), true) => 1,
+                // Then harvest the reads those writes charged.
+                (NextStep::Read(_), true) => 2,
+                // Free critical progress only when nothing is
+                // chargeable.
+                (NextStep::Crit(_), _) => 3,
+                // Free spins last: they cost nothing and learn
+                // nothing.
+                (_, false) => 4,
+            };
+            // Within a class: fewest passages (keep everyone in the
+            // game), then longest-unscheduled (advance the match
+            // fronts symmetrically, like round-robin does), then pid.
+            let key = (class, v.passages, std::cmp::Reverse(waited), v.pid.index());
+            if best.is_none_or(|(k, _)| key < k) {
+                best = Some((key, v.pid));
             }
         }
+        let picked = starved.map(|(_, p)| p).or(best.map(|(_, p)| p))?;
+        self.last_picked[picked.index()] = Some(ctx.step);
         Some(picked)
     }
 
@@ -702,6 +922,52 @@ mod tests {
         assert!(!views[1].done);
     }
 
+    /// The incremental-view contract: after every step of an adversarial
+    /// run, the [`ViewTable`] equals a from-scratch rebuild — with and
+    /// without `changes_state` previews.
+    #[test]
+    fn incremental_views_match_fresh_views_after_every_step() {
+        for previews in [true, false] {
+            let alg = Alternator::new(5);
+            let passages = 3;
+            let mut sched = GreedyAdversary::new();
+            let mut sys = System::new(&alg);
+            let mut table = ViewTable::new(&sys, passages, previews);
+            let mut fresh = Vec::new();
+            let mut finished = false;
+            for step in 0..10_000 {
+                build_views(&sys, passages, previews, &mut fresh);
+                assert_eq!(table.views(), &fresh[..], "previews={previews} step={step}");
+                let ctx = SchedContext {
+                    step,
+                    target_passages: passages,
+                    views: table.views(),
+                };
+                let Some(p) = sched.pick(&ctx) else {
+                    finished = true;
+                    break;
+                };
+                let done = sys.step(p);
+                table.apply(&sys, passages, &done);
+            }
+            assert!(finished, "adversarial run did not terminate");
+        }
+    }
+
+    #[test]
+    fn streaming_driver_reports_steps_and_outcomes_in_order() {
+        let alg = Alternator::new(3);
+        let mut outcomes = Vec::new();
+        let steps = run_scheduler_with(&alg, &mut RoundRobin::new(), 1, 100_000, |done| {
+            outcomes.push(*done);
+        })
+        .unwrap();
+        assert_eq!(steps, outcomes.len());
+        let exec = run_round_robin(&alg, 1, 100_000).unwrap();
+        let recorded: Vec<_> = outcomes.iter().map(|o| o.step).collect();
+        assert_eq!(exec.steps(), &recorded[..]);
+    }
+
     #[test]
     fn greedy_adversary_terminates_and_is_deterministic() {
         let alg = Alternator::new(4);
@@ -758,6 +1024,26 @@ mod tests {
         let exec = run_scheduler(&alg, &mut sched, 1, 100_000).unwrap();
         assert!(exec.mutual_exclusion(2));
         assert_eq!(exec.critical_order().len(), 2);
+    }
+
+    /// Schedulers hold per-run state now; a pick at step 0 must reset
+    /// it so a reused scheduler reproduces its first run instead of
+    /// returning an empty execution (Sequential) or underflowing its
+    /// skip counts (GreedyAdversary).
+    #[test]
+    fn reused_schedulers_reproduce_their_first_run() {
+        let alg = Alternator::new(3);
+        let order: Vec<_> = ProcessId::all(3).collect();
+        let mut seq = Sequential::new(order);
+        let a = run_scheduler(&alg, &mut seq, 1, 10_000).unwrap();
+        let b = run_scheduler(&alg, &mut seq, 1, 10_000).unwrap();
+        assert!(!b.is_empty());
+        assert_eq!(a, b);
+
+        let mut greedy = GreedyAdversary::new();
+        let a = run_scheduler(&alg, &mut greedy, 2, 100_000).unwrap();
+        let b = run_scheduler(&alg, &mut greedy, 2, 100_000).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -32,9 +32,14 @@ OPTIONS:
     --seed-base B        first seed of the grid (default: 1)
     --threads T          worker threads, 0 = one per core (default: 0)
     --max-steps N        step budget per run (default: 50000000)
+    --no-record          stream costs in a single pass without recording
+                         executions (the default engine)
+    --record             record every execution and price it by replay
+                         (the legacy engine; same results, ~4x the work —
+                         kept for A/B measurement)
     --json PATH          write the JSON report (`-` for stdout)
     --csv PATH           write the per-run CSV (`-` for stdout)
-    --quiet              suppress the summary table
+    --quiet              suppress the summary table and timing
     --list-algs          print known algorithm names and exit
     --help               this text
 ";
@@ -48,6 +53,7 @@ struct Args {
     seed_base: u64,
     threads: usize,
     max_steps: usize,
+    record: bool,
     json: Option<String>,
     csv: Option<String>,
     quiet: bool,
@@ -68,6 +74,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         seed_base: 1,
         threads: 0,
         max_steps: 50_000_000,
+        record: false,
         json: None,
         csv: None,
         quiet: false,
@@ -96,6 +103,8 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--max-steps" => {
                 args.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
             }
+            "--record" => args.record = true,
+            "--no-record" => args.record = false,
             "--json" => args.json = Some(value()?),
             "--csv" => args.csv = Some(value()?),
             "--quiet" => args.quiet = true,
@@ -168,14 +177,25 @@ fn run() -> Result<(), String> {
             }
         );
     }
+    let start = std::time::Instant::now();
     let report = sweep(
         &scenarios,
         &SweepOptions {
             threads: args.threads,
+            record: args.record,
         },
     );
+    let elapsed = start.elapsed();
     if !args.quiet {
         print!("{}", report.to_text());
+        let busy_ns: u64 = report.records.iter().map(|r| r.wall_ns).sum();
+        eprintln!(
+            "swept {} runs in {:.1} ms wall ({:.1} ms of worker time, {} pricing)",
+            report.records.len(),
+            elapsed.as_secs_f64() * 1e3,
+            busy_ns as f64 / 1e6,
+            if args.record { "replay" } else { "streaming" },
+        );
     }
     if let Some(path) = &args.json {
         emit(path, "JSON report", &report.to_json())?;

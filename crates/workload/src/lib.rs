@@ -11,9 +11,12 @@
 //!   cost-maximizing adversary and burst/stagger arrival patterns from
 //!   `exclusion_shmem::sched`), and a seed grid;
 //! * [`sweep`] runs a batch of scenarios sharded across worker threads,
-//!   prices every recorded execution under the SC, CC and DSM cost
-//!   models, and aggregates min/percentile/max/mean summaries — results
-//!   are bit-identical for any thread count;
+//!   prices every run under the SC, CC and DSM cost models, and
+//!   aggregates min/percentile/max/mean summaries — results are
+//!   bit-identical for any thread count. By default each run is driven
+//!   and priced in a *single streaming pass* (nothing recorded, nothing
+//!   replayed); [`SweepOptions::record`] switches to the legacy
+//!   record-then-replay engine, whose results are identical;
 //! * [`SweepReport`] serializes to JSON, CSV or an aligned text table.
 //!
 //! The `workload` binary wraps all of this in a CLI.

@@ -1,10 +1,20 @@
 //! The parallel batch runner: shards a scenario × seed grid across
-//! worker threads, prices every execution under all three cost models,
-//! and aggregates per-scenario summaries.
+//! worker threads, prices every run under all three cost models, and
+//! aggregates per-scenario summaries.
+//!
+//! Pricing has two engines, selected by [`SweepOptions::record`]:
+//!
+//! * **streaming** (the default): each run is driven and priced in a
+//!   single pass via `exclusion_cost::run_priced` — no execution is
+//!   recorded, nothing is replayed;
+//! * **record + replay** (the legacy path, kept for A/B measurement and
+//!   pinned bit-identical by tests): each run is recorded in full and
+//!   replayed three times, once per cost model.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use exclusion_cost::all_costs;
+use exclusion_cost::{all_costs, run_priced};
 use exclusion_mutex::AnyAlgorithm;
 use exclusion_shmem::sched::run_scheduler;
 
@@ -12,7 +22,12 @@ use crate::scenario::Scenario;
 
 /// The outcome of one run: one scenario, one seed, all three cost
 /// models.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Equality deliberately ignores [`wall_ns`](RunRecord::wall_ns): the
+/// wall-clock timing is measurement metadata, not part of the result —
+/// two records of the same run compare equal across machines, thread
+/// counts and pricing engines.
+#[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Scenario name.
     pub scenario: String,
@@ -36,10 +51,51 @@ pub struct RunRecord {
     pub dsm: usize,
     /// The highest SC cost any single process paid.
     pub sc_max_process: usize,
+    /// Wall-clock nanoseconds this run took (driving + pricing), as
+    /// measured by the worker that ran it. Excluded from equality.
+    pub wall_ns: u64,
     /// Why the run failed (budget exhaustion), if it did. Failed runs
     /// carry zero costs and are excluded from summaries.
     pub error: Option<String>,
 }
+
+impl PartialEq for RunRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except `wall_ns` (see the type docs). The
+        // exhaustive destructure (no `..`) makes adding a field a
+        // compile error here, so new fields cannot silently drop out
+        // of equality.
+        let RunRecord {
+            scenario,
+            algorithm,
+            scheduler,
+            n,
+            passages,
+            seed,
+            steps,
+            sc,
+            cc,
+            dsm,
+            sc_max_process,
+            wall_ns: _,
+            error,
+        } = self;
+        *scenario == other.scenario
+            && *algorithm == other.algorithm
+            && *scheduler == other.scheduler
+            && *n == other.n
+            && *passages == other.passages
+            && *seed == other.seed
+            && *steps == other.steps
+            && *sc == other.sc
+            && *cc == other.cc
+            && *dsm == other.dsm
+            && *sc_max_process == other.sc_max_process
+            && *error == other.error
+    }
+}
+
+impl Eq for RunRecord {}
 
 /// Distribution summary of one cost model over a scenario's runs.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -114,6 +170,12 @@ pub struct SweepReport {
 pub struct SweepOptions {
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
+    /// Record each execution in full and price it by replay (the legacy
+    /// path) instead of streaming the costs in a single pass. Default
+    /// `false`: the streaming engine. Results are bit-identical either
+    /// way; `record` costs roughly three extra re-executions per run
+    /// plus the recording allocation.
+    pub record: bool,
 }
 
 impl SweepOptions {
@@ -124,7 +186,7 @@ impl SweepOptions {
     }
 }
 
-fn run_one(sc: &Scenario, seed: u64) -> RunRecord {
+fn run_one(sc: &Scenario, seed: u64, record_executions: bool) -> RunRecord {
     let mut record = RunRecord {
         scenario: sc.name.clone(),
         algorithm: sc.algorithm.clone(),
@@ -137,6 +199,7 @@ fn run_one(sc: &Scenario, seed: u64) -> RunRecord {
         cc: 0,
         dsm: 0,
         sc_max_process: 0,
+        wall_ns: 0,
         error: None,
     };
     let Some(alg) = AnyAlgorithm::by_name(&sc.algorithm, sc.n) else {
@@ -144,19 +207,34 @@ fn run_one(sc: &Scenario, seed: u64) -> RunRecord {
         return record;
     };
     let mut sched = sc.sched.build(sc.n, sc.passages, seed);
-    match run_scheduler(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
-        Ok(exec) => match all_costs(&alg, &exec) {
-            Ok((sc_cost, cc_cost, dsm_cost)) => {
-                record.steps = exec.len();
-                record.sc = sc_cost.total();
-                record.cc = cc_cost.total();
-                record.dsm = dsm_cost.total();
-                record.sc_max_process = sc_cost.max_process();
+    let start = Instant::now();
+    if record_executions {
+        match run_scheduler(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
+            Ok(exec) => match all_costs(&alg, &exec) {
+                Ok((sc_cost, cc_cost, dsm_cost)) => {
+                    record.steps = exec.len();
+                    record.sc = sc_cost.total();
+                    record.cc = cc_cost.total();
+                    record.dsm = dsm_cost.total();
+                    record.sc_max_process = sc_cost.max_process();
+                }
+                Err(e) => record.error = Some(e.to_string()),
+            },
+            Err(e) => record.error = Some(e.to_string()),
+        }
+    } else {
+        match run_priced(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
+            Ok(priced) => {
+                record.steps = priced.steps;
+                record.sc = priced.sc.total();
+                record.cc = priced.cc.total();
+                record.dsm = priced.dsm.total();
+                record.sc_max_process = priced.sc.max_process();
             }
             Err(e) => record.error = Some(e.to_string()),
-        },
-        Err(e) => record.error = Some(e.to_string()),
+        }
     }
+    record.wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     record
 }
 
@@ -189,7 +267,7 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
                     let Some(&(i, seed)) = jobs.get(k) else {
                         return out;
                     };
-                    out.push((k, run_one(&scenarios[i], seed)));
+                    out.push((k, run_one(&scenarios[i], seed, opts.record)));
                 }
             }));
         }
@@ -204,18 +282,17 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
         .map(|r| r.expect("every job ran"))
         .collect();
 
+    // Group by grid index, not name (two scenarios may share a name, and
+    // each still gets its own summary), in one pass over the records —
+    // jobs and records are aligned and already in grid order.
+    let mut buckets: Vec<Vec<&RunRecord>> = vec![Vec::new(); scenarios.len()];
+    for (&(i, _), record) in jobs.iter().zip(&records) {
+        buckets[i].push(record);
+    }
     let summaries = scenarios
         .iter()
-        .enumerate()
-        .map(|(i, sc)| {
-            // Group by grid index, not name: two scenarios may share a
-            // name, and each still gets its own summary.
-            let mine: Vec<&RunRecord> = jobs
-                .iter()
-                .zip(&records)
-                .filter(|((j, _), _)| *j == i)
-                .map(|(_, r)| r)
-                .collect();
+        .zip(&buckets)
+        .map(|(sc, mine)| {
             let ok: Vec<&&RunRecord> = mine.iter().filter(|r| r.error.is_none()).collect();
             ScenarioSummary {
                 scenario: sc.name.clone(),
@@ -231,6 +308,7 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
             }
         })
         .collect();
+    drop(buckets);
 
     SweepReport { records, summaries }
 }
@@ -264,7 +342,13 @@ mod tests {
     #[test]
     fn sweep_covers_the_grid_in_order() {
         let scenarios = grid();
-        let report = sweep(&scenarios, &SweepOptions { threads: 3 });
+        let report = sweep(
+            &scenarios,
+            &SweepOptions {
+                threads: 3,
+                ..SweepOptions::default()
+            },
+        );
         // 2 algs × (rr 1 + greedy 1 + random 6 + stagger 6) = 28 runs.
         assert_eq!(report.records.len(), 28);
         assert_eq!(report.summaries.len(), 8);
@@ -285,11 +369,42 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let scenarios = grid();
-        let one = sweep(&scenarios, &SweepOptions { threads: 1 });
-        let four = sweep(&scenarios, &SweepOptions { threads: 4 });
-        let auto = sweep(&scenarios, &SweepOptions { threads: 0 });
+        let opts = |threads| SweepOptions {
+            threads,
+            ..SweepOptions::default()
+        };
+        let one = sweep(&scenarios, &opts(1));
+        let four = sweep(&scenarios, &opts(4));
+        let auto = sweep(&scenarios, &opts(0));
         assert_eq!(one, four);
         assert_eq!(one, auto);
+    }
+
+    #[test]
+    fn streaming_and_replay_engines_agree() {
+        let scenarios = grid();
+        let streaming = sweep(&scenarios, &SweepOptions::default());
+        let replay = sweep(
+            &scenarios,
+            &SweepOptions {
+                record: true,
+                ..SweepOptions::default()
+            },
+        );
+        // RunRecord equality ignores wall_ns, so this pins every cost,
+        // step count and summary of the two pricing engines against
+        // each other.
+        assert_eq!(streaming, replay);
+    }
+
+    #[test]
+    fn runs_carry_wall_clock_timings() {
+        let sc = Scenario::builder("peterson", 3)
+            .sched(SchedSpec::RoundRobin)
+            .build()
+            .unwrap();
+        let report = sweep(&[sc], &SweepOptions::default());
+        assert!(report.records.iter().all(|r| r.wall_ns > 0));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Integration: the streaming cost engine is bit-identical to the
+//! replay-based pricers — totals, per-process and per-register
+//! breakdowns — for every algorithm of the suite under every scheduling
+//! policy and several seeds, and the incrementally maintained scheduler
+//! views equal a from-scratch rebuild after every step of an
+//! adversarial run.
+
+use exclusion::cost::{all_costs, run_priced, CostTracker};
+use exclusion::mutex::AnyAlgorithm;
+use exclusion::shmem::sched::run_scheduler;
+use exclusion::shmem::{Automaton, ProcessId, RegisterId, System, ViewTable};
+use exclusion::workload::SchedSpec;
+
+const MAX_STEPS: usize = 50_000_000;
+
+fn all_specs(n: usize) -> Vec<SchedSpec> {
+    vec![
+        SchedSpec::Sequential,
+        SchedSpec::RoundRobin,
+        SchedSpec::Random,
+        SchedSpec::Greedy,
+        SchedSpec::Burst {
+            wave: n.div_ceil(2),
+            gap: 2 * n,
+        },
+        SchedSpec::Stagger { stride: 2 * n },
+    ]
+}
+
+/// The acceptance bar for the streaming engine: over the full
+/// `AnyAlgorithm` × `SchedSpec` grid (RMW locks included) at several
+/// seeds, `run_priced` reproduces the recorded run's replay-based
+/// SC/CC/DSM reports bit for bit — not just the totals but the
+/// per-process and per-register breakdowns.
+#[test]
+fn streaming_costs_match_replay_costs_on_the_full_grid() {
+    let n = 4;
+    let passages = 2;
+    for alg in AnyAlgorithm::full_suite(n) {
+        for spec in all_specs(n) {
+            let seeds: &[u64] = if spec.is_seeded() { &[1, 7, 42] } else { &[0] };
+            for &seed in seeds {
+                let label = format!("{} under {} seed {seed}", alg.name(), spec.label());
+
+                let mut recording = spec.build(n, passages, seed);
+                let exec = run_scheduler(&alg, recording.as_mut(), passages, MAX_STEPS)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let (sc, cc, dsm) = all_costs(&alg, &exec).expect("replay");
+
+                let mut streaming = spec.build(n, passages, seed);
+                let priced = run_priced(&alg, streaming.as_mut(), passages, MAX_STEPS)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+
+                assert_eq!(priced.steps, exec.len(), "{label}");
+                assert_eq!(priced.sc, sc, "{label}");
+                assert_eq!(priced.cc, cc, "{label}");
+                assert_eq!(priced.dsm, dsm, "{label}");
+                // Spell the breakdowns out, so a future widening of
+                // `CostReport` equality cannot silently weaken this.
+                for p in ProcessId::all(n) {
+                    assert_eq!(priced.sc.process(p), sc.process(p), "{label} {p}");
+                    assert_eq!(priced.cc.process(p), cc.process(p), "{label} {p}");
+                    assert_eq!(priced.dsm.process(p), dsm.process(p), "{label} {p}");
+                }
+                for r in RegisterId::all(alg.registers()) {
+                    assert_eq!(priced.sc.register(r), sc.register(r), "{label} {r:?}");
+                    assert_eq!(priced.cc.register(r), cc.register(r), "{label} {r:?}");
+                    assert_eq!(priced.dsm.register(r), dsm.register(r), "{label} {r:?}");
+                }
+            }
+        }
+    }
+}
+
+/// A tracker fed step by step agrees with the one-shot driver.
+#[test]
+fn manual_tracker_feed_matches_run_priced() {
+    let alg = AnyAlgorithm::by_name("dekker-tree", 4).expect("known");
+    let passages = 1;
+    let mut sched = SchedSpec::Greedy.build(4, passages, 0);
+    let mut sys = System::new(&alg);
+    let mut tracker = CostTracker::new(&alg);
+    let mut table = ViewTable::new(&sys, passages, sched.wants_step_previews());
+    for step in 0..MAX_STEPS {
+        let ctx = exclusion::shmem::SchedContext {
+            step,
+            target_passages: passages,
+            views: table.views(),
+        };
+        let Some(p) = sched.pick(&ctx) else { break };
+        let done = sys.step(p);
+        table.apply(&sys, passages, &done);
+        tracker.observe(&done);
+    }
+    let mut again = SchedSpec::Greedy.build(4, passages, 0);
+    let priced = run_priced(&alg, again.as_mut(), passages, MAX_STEPS).expect("run");
+    assert_eq!(priced.steps, tracker.steps());
+    let (sc, cc, dsm) = tracker.into_reports();
+    assert_eq!((priced.sc, priced.cc, priced.dsm), (sc, cc, dsm));
+}
+
+/// The incremental-view regression: during a greedy-adversary run of a
+/// real tournament lock, the driver's `ViewTable` equals a from-scratch
+/// rebuild after every single step.
+#[test]
+fn incremental_views_equal_fresh_views_during_adversarial_runs() {
+    for alg_name in ["dekker-tree", "burns-lynch", "mcs-sim"] {
+        let n = 5;
+        let passages = 2;
+        let alg = AnyAlgorithm::by_name(alg_name, n).expect("known");
+        let mut sched = SchedSpec::Greedy.build(n, passages, 0);
+        let previews = sched.wants_step_previews();
+        let mut sys = System::new(&alg);
+        let mut table = ViewTable::new(&sys, passages, previews);
+        let mut finished = false;
+        for step in 0..100_000 {
+            assert_eq!(
+                table.views(),
+                ViewTable::new(&sys, passages, previews).views(),
+                "{alg_name} step {step}"
+            );
+            let ctx = exclusion::shmem::SchedContext {
+                step,
+                target_passages: passages,
+                views: table.views(),
+            };
+            let Some(p) = sched.pick(&ctx) else {
+                finished = true;
+                break;
+            };
+            let done = sys.step(p);
+            table.apply(&sys, passages, &done);
+        }
+        assert!(finished, "{alg_name}: run did not terminate");
+    }
+}

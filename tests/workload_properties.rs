@@ -129,8 +129,12 @@ fn sweeps_are_deterministic_and_reportable() {
             })
         })
         .collect();
-    let serial = sweep(&scenarios, &SweepOptions { threads: 1 });
-    let sharded = sweep(&scenarios, &SweepOptions { threads: 4 });
+    let opts = |threads| SweepOptions {
+        threads,
+        ..SweepOptions::default()
+    };
+    let serial = sweep(&scenarios, &opts(1));
+    let sharded = sweep(&scenarios, &opts(4));
     assert_eq!(serial, sharded);
     assert_eq!(serial.to_json(), sharded.to_json());
     assert!(serial.to_json().contains(JSON_SCHEMA));
