@@ -1,0 +1,61 @@
+//! `bench_dispatch` — times streaming sweeps through the monomorphized
+//! `AnyAlgorithm` enum against the registry's erased
+//! `Arc<dyn DynAutomaton>` handles and writes `BENCH_dispatch.json`.
+//!
+//! ```text
+//! bench_dispatch                     # n ∈ {16,64} × greedy/random
+//! bench_dispatch --quick --out -    # shrunk grid, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any run errors, the two paths ever price a run
+//! differently, or dyn dispatch exceeds its 1.3× budget — CI runs this
+//! to pin the cost of the registry redesign.
+
+use std::process::ExitCode;
+
+use exclusion_bench::dispatchbench::{all_clean, run, to_json, to_text, RATIO_BUDGET};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_dispatch.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_dispatch: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_dispatch [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_dispatch: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let configs = run(quick);
+    eprint!("{}", to_text(&configs));
+    let json = to_json(&configs, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_dispatch: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&configs) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_dispatch: a cell failed, disagreed, or exceeded the {RATIO_BUDGET}x budget"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,281 @@
+//! The dispatch benchmark behind `BENCH_dispatch.json`: streaming
+//! sweeps priced through the monomorphized `AnyAlgorithm` enum versus
+//! the registry's erased `Arc<dyn DynAutomaton>` handles.
+//!
+//! The registry redesign must not trade back the streaming engine's
+//! wins from the previous rebuild, so this benchmark pins the price of
+//! dynamic dispatch: for every cell of an adversarial grid it runs the
+//! *same* schedules through both paths, checks the priced results are
+//! bit-identical, and reports the wall-clock ratio. The acceptance
+//! budget is [`RATIO_BUDGET`] (dyn within 1.3× of the enum path); the
+//! `bench_dispatch` binary exits nonzero if any cell disagrees or
+//! blows the budget.
+//!
+//! Run it with `cargo run --release -p exclusion-bench --bin
+//! bench_dispatch -- --out BENCH_dispatch.json`. CI runs it on every
+//! push and uploads the JSON as an artifact.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use exclusion_cost::{run_priced, run_priced_dyn, PricedRun};
+use exclusion_mutex::registry::{AlgorithmRegistry, DynAlgorithm};
+use exclusion_mutex::AnyAlgorithm;
+use exclusion_workload::schedreg::{ResolvedSched, SchedulerRegistry};
+
+/// Schema tag stamped into `BENCH_dispatch.json`.
+pub const BENCH_SCHEMA: &str = "exclusion-bench-dispatch/v1";
+
+/// Acceptance budget: dyn-dispatch streaming must stay within this
+/// factor of the monomorphized enum path, per cell.
+pub const RATIO_BUDGET: f64 = 1.3;
+
+/// Timed sweeps per path and configuration; the minimum is reported.
+pub const REPS: usize = 3;
+
+/// Algorithms every configuration sweeps.
+pub const ALGORITHMS: [&str; 2] = ["dekker-tree", "peterson"];
+
+/// Passages per process in every run.
+const PASSAGES: usize = 2;
+
+const MAX_STEPS: usize = 50_000_000;
+
+/// One benchmarked configuration: a (n, scheduler) cell swept over
+/// [`ALGORITHMS`] × seeds by both dispatch paths.
+#[derive(Clone, Debug)]
+pub struct DispatchConfig {
+    /// Processes per run.
+    pub n: usize,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Runs in the cell (algorithms × seeds).
+    pub runs: usize,
+    /// Total steps across the cell's runs (identical for both paths).
+    pub steps: usize,
+    /// Runs that errored (budget exhaustion; nonzero fails the bench).
+    pub failures: usize,
+    /// Whether the two paths priced every run bit-identically.
+    pub identical: bool,
+    /// Wall-clock nanoseconds of the enum path (best of [`REPS`]).
+    pub enum_ns: u128,
+    /// Wall-clock nanoseconds of the dyn path (best of [`REPS`]).
+    pub dyn_ns: u128,
+}
+
+impl DispatchConfig {
+    /// Dyn wall-clock over enum wall-clock: the price of dispatching
+    /// through the erased-state registry handle.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.dyn_ns as f64 / (self.enum_ns.max(1)) as f64
+    }
+
+    /// Whether the cell is within [`RATIO_BUDGET`].
+    #[must_use]
+    pub fn within_budget(&self) -> bool {
+        self.ratio() <= RATIO_BUDGET
+    }
+}
+
+fn seeds_for(sched: &ResolvedSched, quick: bool) -> Vec<u64> {
+    if sched.seeded {
+        (1..=if quick { 2 } else { 4 }).collect()
+    } else {
+        vec![1]
+    }
+}
+
+/// One full pass over a cell through the enum path.
+fn enum_pass(
+    algs: &[AnyAlgorithm],
+    sched: &ResolvedSched,
+    seeds: &[u64],
+) -> Vec<Result<PricedRun, String>> {
+    let mut out = Vec::with_capacity(algs.len() * seeds.len());
+    for alg in algs {
+        for &seed in seeds {
+            let mut s = sched.build(PASSAGES, seed);
+            out.push(run_priced(alg, s.as_mut(), PASSAGES, MAX_STEPS).map_err(|e| e.to_string()));
+        }
+    }
+    out
+}
+
+/// One full pass over a cell through the erased registry handles.
+fn dyn_pass(
+    algs: &[DynAlgorithm],
+    sched: &ResolvedSched,
+    seeds: &[u64],
+) -> Vec<Result<PricedRun, String>> {
+    let mut out = Vec::with_capacity(algs.len() * seeds.len());
+    for alg in algs {
+        for &seed in seeds {
+            let mut s = sched.build(PASSAGES, seed);
+            out.push(
+                run_priced_dyn(alg.as_ref(), s.as_mut(), PASSAGES, MAX_STEPS)
+                    .map_err(|e| e.to_string()),
+            );
+        }
+    }
+    out
+}
+
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, u128) {
+    let mut best: Option<(T, u128)> = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        let ns = start.elapsed().as_nanos();
+        if best.as_ref().is_none_or(|&(_, b)| ns < b) {
+            best = Some((value, ns));
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Runs the benchmark grid — n ∈ {16, 64} × {greedy, random} (shrunk
+/// when `quick`) — returning one [`DispatchConfig`] per cell.
+#[must_use]
+pub fn run(quick: bool) -> Vec<DispatchConfig> {
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64] };
+    let registry = AlgorithmRegistry::global();
+    let scheds = SchedulerRegistry::global();
+    let mut out = Vec::new();
+    for &n in sizes {
+        let enum_algs: Vec<AnyAlgorithm> = ALGORITHMS
+            .iter()
+            .map(|a| AnyAlgorithm::by_name(a, n).expect("suite name"))
+            .collect();
+        let dyn_algs: Vec<DynAlgorithm> = ALGORITHMS
+            .iter()
+            .map(|a| registry.resolve_str(a, n).expect("suite entry").automaton)
+            .collect();
+        for sched_name in ["greedy", "random"] {
+            let sched = scheds.resolve_str(sched_name, n).expect("known policy");
+            let seeds = seeds_for(&sched, quick);
+            let (enum_results, enum_ns) = timed(REPS, || enum_pass(&enum_algs, &sched, &seeds));
+            let (dyn_results, dyn_ns) = timed(REPS, || dyn_pass(&dyn_algs, &sched, &seeds));
+            let failures = enum_results
+                .iter()
+                .chain(&dyn_results)
+                .filter(|r| r.is_err())
+                .count();
+            let identical = enum_results == dyn_results;
+            out.push(DispatchConfig {
+                n,
+                scheduler: sched.label.clone(),
+                runs: enum_results.len(),
+                steps: enum_results
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .map(|p| p.steps)
+                    .sum(),
+                failures,
+                identical,
+                enum_ns,
+                dyn_ns,
+            });
+        }
+    }
+    out
+}
+
+/// Whether every cell ran clean: no failures, bit-identical prices,
+/// and the dyn/enum ratio within [`RATIO_BUDGET`].
+#[must_use]
+pub fn all_clean(configs: &[DispatchConfig]) -> bool {
+    configs
+        .iter()
+        .all(|c| c.failures == 0 && c.identical && c.within_budget())
+}
+
+/// The benchmark report as JSON (the contents of `BENCH_dispatch.json`).
+#[must_use]
+pub fn to_json(configs: &[DispatchConfig], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{BENCH_SCHEMA}\",\"quick\":{quick},\
+         \"algorithms\":[\"{}\"],\"reps\":{REPS},\
+         \"ratio_budget\":{RATIO_BUDGET},\"configs\":[",
+        ALGORITHMS.join("\",\"")
+    );
+    for (i, c) in configs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"n\":{},\"scheduler\":\"{}\",\"runs\":{},\"steps\":{},\
+             \"failures\":{},\"identical\":{},\"enum_ns\":{},\"dyn_ns\":{},\
+             \"ratio\":{:.3},\"within_budget\":{}}}",
+            c.n,
+            c.scheduler,
+            c.runs,
+            c.steps,
+            c.failures,
+            c.identical,
+            c.enum_ns,
+            c.dyn_ns,
+            c.ratio(),
+            c.within_budget(),
+        );
+    }
+    let worst = configs
+        .iter()
+        .max_by(|a, b| a.ratio().total_cmp(&b.ratio()));
+    out.push_str("],\"worst_ratio\":");
+    match worst {
+        Some(c) => {
+            let _ = write!(out, "{:.3}", c.ratio());
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"clean\":{}}}", all_clean(configs));
+    out
+}
+
+/// An aligned text table of the benchmark, for terminals and CI logs.
+#[must_use]
+pub fn to_text(configs: &[DispatchConfig]) -> String {
+    let mut out =
+        String::from("   n  scheduler           runs     steps    enum ms     dyn ms   dyn/enum\n");
+    for c in configs {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<18}{:>6}{:>10}{:>11.2}{:>11.2}{:>10.2}x",
+            c.n,
+            c.scheduler,
+            c.runs,
+            c.steps,
+            c.enum_ns as f64 / 1e6,
+            c.dyn_ns as f64 / 1e6,
+            c.ratio(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_benchmark_is_identical_and_serializes() {
+        let configs = run(true);
+        assert_eq!(configs.len(), 2, "one size x two schedulers");
+        for c in &configs {
+            assert_eq!(c.failures, 0, "{c:?}");
+            assert!(c.identical, "{c:?}");
+            assert!(c.runs > 0 && c.steps > 0);
+            assert!(c.enum_ns > 0 && c.dyn_ns > 0);
+        }
+        let json = to_json(&configs, true);
+        assert!(json.starts_with(&format!("{{\"schema\":\"{BENCH_SCHEMA}\"")));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"worst_ratio\":"));
+        let text = to_text(&configs);
+        assert_eq!(text.lines().count(), configs.len() + 1);
+    }
+}

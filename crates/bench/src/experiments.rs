@@ -724,14 +724,11 @@ pub fn e13_adversary_pressure(quick: bool) -> Table {
     let seeds: u64 = if quick { 3 } else { 8 };
     let passages = 2;
     let patterns = [
-        SchedSpec::Sequential,
-        SchedSpec::Random,
-        SchedSpec::Greedy,
-        SchedSpec::Burst {
-            wave: n.div_ceil(2),
-            gap: 2 * n,
-        },
-        SchedSpec::Stagger { stride: 2 * n },
+        SchedSpec::sequential(),
+        SchedSpec::random(),
+        SchedSpec::greedy(),
+        SchedSpec::burst(n.div_ceil(2), 2 * n),
+        SchedSpec::stagger(2 * n),
     ];
     let scenarios: Vec<Scenario> = algorithms(n)
         .iter()

@@ -2,7 +2,10 @@
 //! by a function in [`experiments`], and `cargo run -p exclusion-bench
 //! --bin tables` prints them all. The `bench_sweep` binary (module
 //! [`sweepbench`]) times the streaming pricing engine against the
-//! record+replay one and emits `BENCH_sweep.json`.
+//! record+replay one and emits `BENCH_sweep.json`; the `bench_dispatch`
+//! binary (module [`dispatchbench`]) times the registry's erased-state
+//! dyn path against the monomorphized enum path and emits
+//! `BENCH_dispatch.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -12,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatchbench;
 pub mod experiments;
 pub mod sweepbench;
 pub mod table;

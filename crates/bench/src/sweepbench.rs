@@ -80,7 +80,7 @@ type BaselineTotals = (usize, usize, usize, usize);
 fn baseline_run_one(scenario: &Scenario, seed: u64) -> Result<BaselineTotals, String> {
     let alg = AnyAlgorithm::by_name(&scenario.algorithm, scenario.n)
         .ok_or_else(|| format!("unknown algorithm `{}`", scenario.algorithm))?;
-    let mut sched = scenario.sched.build(scenario.n, scenario.passages, seed);
+    let mut sched = scenario.build_scheduler(seed);
     let previews = sched.wants_step_previews();
     let passages = scenario.passages;
     let mut sys = System::new(&alg);
@@ -169,12 +169,9 @@ fn sizes(quick: bool) -> &'static [usize] {
 
 fn scheds_for(n: usize) -> Vec<SchedSpec> {
     vec![
-        SchedSpec::Greedy,
-        SchedSpec::Random,
-        SchedSpec::Burst {
-            wave: n.div_ceil(2),
-            gap: 2 * n,
-        },
+        SchedSpec::greedy(),
+        SchedSpec::random(),
+        SchedSpec::burst(n.div_ceil(2), 2 * n),
     ]
 }
 

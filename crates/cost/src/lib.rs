@@ -62,6 +62,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// `DynAutomaton` is deliberately referenced by path, not imported:
+// importing the trait alongside `Automaton` would make method calls on
+// types implementing both (i.e. every automaton) ambiguous.
+use exclusion_shmem::dynamic::{self, DynRef};
 use exclusion_shmem::sched::run_scheduler_with;
 use exclusion_shmem::{
     replay, Automaton, Executed, Execution, ProcessId, RegisterId, ReplayError, RunError,
@@ -389,6 +393,41 @@ where
     })?;
     let (sc, cc, dsm) = tracker.into_reports();
     Ok(PricedRun { steps, sc, cc, dsm })
+}
+
+/// [`run_priced`] for an erased algorithm handle — the streaming
+/// pricing path registry-driven scenarios use. The run is driven
+/// through [`DynRef`], whose in-place observe hooks keep the per-step
+/// cost allocation-free; results are bit-identical to pricing the typed
+/// algorithm (pinned by `tests/streaming_equivalence.rs`).
+///
+/// # Example
+///
+/// ```
+/// use exclusion_cost::run_priced_dyn;
+/// use exclusion_mutex::registry::AlgorithmRegistry;
+/// use exclusion_shmem::sched::GreedyAdversary;
+///
+/// let alg = AlgorithmRegistry::global()
+///     .resolve_str("dekker-tree", 8)
+///     .unwrap()
+///     .automaton;
+/// let priced =
+///     run_priced_dyn(alg.as_ref(), &mut GreedyAdversary::new(), 1, 100_000).unwrap();
+/// assert!(priced.sc.total() > 0);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the scheduler keeps picking processes past
+/// `max_steps`.
+pub fn run_priced_dyn(
+    alg: &dyn dynamic::DynAutomaton,
+    sched: &mut dyn Scheduler,
+    passages: usize,
+    max_steps: usize,
+) -> Result<PricedRun, RunError> {
+    run_priced(&DynRef(alg), sched, passages, max_steps)
 }
 
 #[cfg(test)]

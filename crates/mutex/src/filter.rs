@@ -52,18 +52,41 @@ pub struct FilterState {
 #[derive(Clone, Copy, Debug)]
 pub struct Filter {
     n: usize,
+    /// Filter levels processes climb (`1..=levels`); at least `n - 1`.
+    levels: usize,
 }
 
 impl Filter {
-    /// An `n`-process instance.
+    /// An `n`-process instance with the minimal `n - 1` levels.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Filter::with_levels(n, n.saturating_sub(1))
+    }
+
+    /// An instance over-provisioned to `levels` filter levels — a lock
+    /// sized for up to `levels + 1` processes, run by `n` of them. Extra
+    /// levels keep mutual exclusion (each level only filters harder) and
+    /// make every passage proportionally more expensive; the registry
+    /// exposes this as the `filter:levels=L` spec parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `levels < n - 1` (fewer levels would admit
+    /// more than one process to the critical section; the registry
+    /// rejects such specs before construction).
+    #[must_use]
+    pub fn with_levels(n: usize, levels: usize) -> Self {
         assert!(n >= 1, "need at least one process");
-        Filter { n }
+        assert!(
+            levels + 1 >= n,
+            "a filter lock for {n} processes needs at least {} levels",
+            n - 1
+        );
+        Filter { n, levels }
     }
 
     fn level_reg(&self, i: usize) -> RegisterId {
@@ -87,7 +110,7 @@ impl Filter {
                 level,
                 j,
             }
-        } else if (level as usize) < self.n - 1 {
+        } else if (level as usize) < self.levels {
             FilterState {
                 phase: Phase::SetLevel,
                 level: level + 1,
@@ -128,8 +151,8 @@ impl Automaton for Filter {
     }
 
     fn registers(&self) -> usize {
-        // level[0..n] plus victim[1..=n-1].
-        2 * self.n - 1
+        // level[0..n] plus victim[1..=levels].
+        self.n + self.levels
     }
 
     fn initial_state(&self, _pid: ProcessId) -> FilterState {
@@ -199,7 +222,7 @@ impl Automaton for Filter {
                     }
                 } else {
                     // Displaced: the whole wait condition is false; climb.
-                    if (state.level as usize) < self.n - 1 {
+                    if (state.level as usize) < self.levels {
                         FilterState {
                             phase: Phase::SetLevel,
                             level: state.level + 1,

@@ -49,6 +49,7 @@ pub mod dekker;
 pub mod dijkstra;
 pub mod filter;
 pub mod peterson;
+pub mod registry;
 pub mod rmw;
 pub mod stale_tournament;
 pub mod suite;
@@ -60,5 +61,8 @@ pub use dekker::DekkerTournament;
 pub use dijkstra::Dijkstra;
 pub use filter::Filter;
 pub use peterson::Peterson;
+pub use registry::{
+    AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry, DynAlgorithm, ResolvedAlgorithm,
+};
 pub use rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
 pub use suite::{AnyAlgorithm, AnyState};

@@ -132,13 +132,31 @@ impl Automaton for TasSim {
 #[derive(Clone, Copy, Debug)]
 pub struct TtasSim {
     n: usize,
+    /// Polling reads inserted after a lost swap before re-polling.
+    backoff: Value,
 }
 
 impl TtasSim {
-    /// An `n`-process TTAS lock.
+    /// An `n`-process TTAS lock with no backoff.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        TtasSim { n }
+        TtasSim { n, backoff: 0 }
+    }
+
+    /// A TTAS lock that backs off after losing a swap race: the loser
+    /// performs `backoff` extra polling reads (each counted down in its
+    /// state) before resuming the normal poll loop. Under SC the
+    /// countdown reads are all charged — the model's price for
+    /// impatience — while under CC they mostly hit the loser's cache;
+    /// the registry exposes this as the `ttas-sim:backoff=K` spec
+    /// parameter (`ttas` is a registered alias, so `ttas:backoff=K`
+    /// works too). `backoff = 0` is exactly [`TtasSim::new`].
+    #[must_use]
+    pub fn with_backoff(n: usize, backoff: usize) -> Self {
+        TtasSim {
+            n,
+            backoff: backoff as Value,
+        }
     }
 
     fn bit(&self) -> RegisterId {
@@ -163,7 +181,9 @@ impl Automaton for TtasSim {
         match s.phase {
             Phase::Remainder => NextStep::Crit(CritKind::Try),
             Phase::Entry(0) => NextStep::Read(self.bit()),
-            Phase::Entry(_) => NextStep::Rmw(self.bit(), RmwOp::Swap(1)),
+            Phase::Entry(1) => NextStep::Rmw(self.bit(), RmwOp::Swap(1)),
+            // Backoff countdown: polling reads, charged as they count.
+            Phase::Entry(_) => NextStep::Read(self.bit()),
             Phase::Entering => NextStep::Crit(CritKind::Enter),
             Phase::Critical => NextStep::Crit(CritKind::Exit),
             Phase::Exit(_) => NextStep::Write(self.bit(), 0),
@@ -184,8 +204,18 @@ impl Automaton for TtasSim {
             (Phase::Entry(1), Observation::Rmw(old)) => {
                 if old == 0 {
                     RmwState::at(Phase::Entering, 0)
+                } else if self.backoff > 0 {
+                    // Lost the race: back off for `backoff` reads.
+                    RmwState::at(Phase::Entry(2), self.backoff)
                 } else {
                     RmwState::at(Phase::Entry(0), 0) // lost the race: re-poll
+                }
+            }
+            (Phase::Entry(2), Observation::Read(_)) => {
+                if s.aux > 1 {
+                    RmwState::at(Phase::Entry(2), s.aux - 1)
+                } else {
+                    RmwState::at(Phase::Entry(0), 0) // backed off: re-poll
                 }
             }
             (Phase::Exit(0), Observation::Write) => RmwState::at(Phase::Resting, 0),

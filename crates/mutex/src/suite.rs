@@ -4,6 +4,18 @@
 //! [`Automaton`] has an associated state type, so it cannot be a trait
 //! object; [`AnyAlgorithm`] closes the family into an enum with a
 //! matching [`AnyState`].
+//!
+//! **Deprecation note:** the enum is a *closed* world — adding a lock
+//! means editing it, its parser and every consumer in lockstep — and has
+//! been superseded by the open, metadata-carrying
+//! [`AlgorithmRegistry`](crate::registry::AlgorithmRegistry) over the
+//! erased-state `DynAutomaton` core, which the scenario engine, CLI and
+//! benches now resolve against. `AnyAlgorithm` remains as a thin façade
+//! for one release: it is still the convenient way to *enumerate* the
+//! built-in suite in tests and experiments (and the monomorphized
+//! baseline the dispatch benchmark measures the registry path against),
+//! but new code selecting algorithms by name at runtime should go
+//! through the registry.
 
 use exclusion_shmem::{Automaton, NextStep, Observation, ProcessId, RegisterId, Value};
 
@@ -141,14 +153,6 @@ macro_rules! suite {
                 matches!(self, $(Self::$rvariant(_))|*)
             }
 
-            /// Looks an algorithm up by its report [`name`](Automaton::name)
-            /// (e.g. `"dekker-tree"`, `"bakery"`, `"mcs-sim"`),
-            /// instantiated for `n` processes; `None` for unknown names.
-            /// Scenario engines use this to select algorithms at runtime.
-            #[must_use]
-            pub fn by_name(name: &str, n: usize) -> Option<AnyAlgorithm> {
-                Self::full_suite(n).into_iter().find(|a| a.name() == name)
-            }
         }
     };
 }
@@ -169,6 +173,36 @@ suite! {
         (ClhSim, ClhSim, ClhSim::new),
         (McsSim, McsSim, McsSim::new),
     ],
+}
+
+impl AnyAlgorithm {
+    /// Looks an algorithm up by its report [`name`](Automaton::name)
+    /// (e.g. `"dekker-tree"`, `"bakery"`, `"mcs-sim"`), instantiated
+    /// for `n` processes; `None` for unknown names.
+    ///
+    /// A direct constructor dispatch — nothing else is instantiated
+    /// (this used to allocate the entire suite per lookup). Names are
+    /// pinned against `full_suite` by tests so the match cannot drift.
+    /// New code should prefer
+    /// [`AlgorithmRegistry::resolve`](crate::registry::AlgorithmRegistry::resolve),
+    /// which also understands parameterized specs.
+    #[must_use]
+    pub fn by_name(name: &str, n: usize) -> Option<AnyAlgorithm> {
+        Some(match name {
+            "dekker-tree" => Self::DekkerTournament(DekkerTournament::new(n)),
+            "peterson" => Self::Peterson(Peterson::new(n)),
+            "bakery" => Self::Bakery(Bakery::new(n)),
+            "filter" => Self::Filter(Filter::new(n)),
+            "dijkstra" => Self::Dijkstra(Dijkstra::new(n)),
+            "burns-lynch" => Self::BurnsLynch(BurnsLynch::new(n)),
+            "tas-sim" => Self::TasSim(TasSim::new(n)),
+            "ttas-sim" => Self::TtasSim(TtasSim::new(n)),
+            "ticket-sim" => Self::TicketSim(TicketSim::new(n)),
+            "clh-sim" => Self::ClhSim(ClhSim::new(n)),
+            "mcs-sim" => Self::McsSim(McsSim::new(n)),
+            _ => return None,
+        })
+    }
 }
 
 impl From<DekkerTournament> for AnyAlgorithm {

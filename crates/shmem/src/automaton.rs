@@ -163,6 +163,32 @@ pub trait Automaton {
     /// busy-wait read that sees the value it was already spinning on.
     fn observe(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> Self::State;
 
+    /// Applies [`observe`](Automaton::observe) to `state` in place and
+    /// reports whether it changed — the SC predicate of the paper's
+    /// Figure 1 as a side effect of the transition itself.
+    ///
+    /// This is the driver's hot path ([`System::step`](crate::System::step)
+    /// goes through it). The default computes `observe` and compares;
+    /// erased automata ([`DynRef`](crate::dynamic::DynRef)) override it
+    /// to update their boxed state without allocating a replacement.
+    fn observe_in_place(&self, pid: ProcessId, state: &mut Self::State, obs: Observation) -> bool {
+        let next = self.observe(pid, state, obs);
+        if next == *state {
+            false
+        } else {
+            *state = next;
+            true
+        }
+    }
+
+    /// Whether observing `obs` from `state` would change it, without
+    /// committing the transition — the non-mutating preview behind
+    /// [`System::step_changes_state`](crate::System::step_changes_state)
+    /// that cost-aware schedulers poll every step.
+    fn observe_changes(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> bool {
+        self.observe(pid, state, obs) != *state
+    }
+
     /// Home process of a register in the distributed-shared-memory cost
     /// model, or `None` if the register is remote to every process.
     ///
@@ -209,6 +235,12 @@ impl<A: Automaton + ?Sized> Automaton for &A {
     }
     fn observe(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> Self::State {
         (**self).observe(pid, state, obs)
+    }
+    fn observe_in_place(&self, pid: ProcessId, state: &mut Self::State, obs: Observation) -> bool {
+        (**self).observe_in_place(pid, state, obs)
+    }
+    fn observe_changes(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> bool {
+        (**self).observe_changes(pid, state, obs)
     }
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
         (**self).register_home(reg)

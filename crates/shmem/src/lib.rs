@@ -24,7 +24,14 @@
 //!   ones (greedy cost-maximizing, burst/phased arrival, staggered
 //!   enable times) producing executions;
 //! * [`checker`] — a small explicit-state model checker that exhaustively
-//!   verifies mutual exclusion for bounded instances of an algorithm.
+//!   verifies mutual exclusion for bounded instances of an algorithm;
+//! * [`dynamic`] — the erased-state core: the object-safe
+//!   [`DynAutomaton`] mirror of [`Automaton`] (every automaton gets it
+//!   for free), [`DynState`] with inline-word and boxed representations,
+//!   and [`DynRef`] bridging erased algorithms back into the generic
+//!   drivers — the foundation of the open algorithm/scheduler registries;
+//! * [`spec`] — the `name:key=value,…` spec grammar those registries
+//!   share.
 //!
 //! # Example
 //!
@@ -45,20 +52,24 @@
 
 pub mod automaton;
 pub mod checker;
+pub mod dynamic;
 pub mod error;
 pub mod execution;
 pub mod ids;
 pub mod replay;
 pub mod sched;
+pub mod spec;
 pub mod step;
 pub mod system;
 pub mod testing;
 
 pub use automaton::{Automaton, NextStep, Observation, RmwOp};
+pub use dynamic::{DynAutomaton, DynRef, DynState, Packed, WordState};
 pub use error::{ReplayError, RunError};
 pub use execution::Execution;
 pub use ids::{ProcessId, RegisterId, Value};
 pub use replay::{replay, replay_collect, StepOutcome};
 pub use sched::{ProcessView, SchedContext, Scheduler, ViewTable};
+pub use spec::{ParamInfo, Spec, SpecError};
 pub use step::{CritKind, Step, StepType};
 pub use system::{Executed, Section, System};

@@ -1,0 +1,420 @@
+//! The spec grammar shared by the algorithm and scheduler registries:
+//! `name`, optionally followed by `:key=value,key=value` parameters.
+//!
+//! A [`Spec`] is a *value* — comparable, printable, and round-trippable:
+//! for every spec, `Spec::parse(&spec.label())` reproduces it exactly
+//! (pinned by property tests). Registries resolve specs into live
+//! handles; this module only owns the syntax and the shared error type,
+//! so `exclusion-mutex`'s algorithm registry and `exclusion-workload`'s
+//! scheduler registry speak the same language.
+//!
+//! # Grammar
+//!
+//! ```text
+//! spec   := name [ ':' params ]
+//! name   := [A-Za-z0-9_-]+
+//! params := param ( ',' param )*
+//! param  := key '=' value          (named)
+//!         | value                  (positional; registries may accept
+//!                                   legacy spellings like "burst:2x32")
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use exclusion_shmem::spec::Spec;
+//!
+//! let spec = Spec::parse("burst:wave=2,gap=32").unwrap();
+//! assert_eq!(spec.name, "burst");
+//! assert_eq!(spec.get("wave"), Some("2"));
+//! assert_eq!(Spec::parse(&spec.label()).unwrap(), spec);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Metadata for one parameter a registry entry accepts — what
+/// `workload --list` prints next to the entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParamInfo {
+    /// The `key` in `name:key=value`.
+    pub key: &'static str,
+    /// One-line description, including the default.
+    pub help: &'static str,
+}
+
+/// A parsed spec: a registry entry name plus `key=value` parameters.
+///
+/// Positional (legacy) parameters are stored with an empty key; see the
+/// module docs for the grammar.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Spec {
+    /// The registry entry this spec names.
+    pub name: String,
+    /// `(key, value)` parameters in spelling order; positional values
+    /// have an empty key.
+    pub params: Vec<(String, String)>,
+}
+
+impl Spec {
+    /// A bare spec with no parameters.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Spec {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Adds a named parameter (builder style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl fmt::Display) -> Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Parses the `name[:k=v,…]` grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Malformed`] on an empty name, an empty
+    /// parameter, or an empty key/value around a `=`.
+    pub fn parse(s: &str) -> Result<Spec, SpecError> {
+        let malformed = |why: &str| SpecError::Malformed {
+            spec: s.to_string(),
+            why: why.to_string(),
+        };
+        let (name, rest) = match s.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (s, None),
+        };
+        if name.is_empty() {
+            return Err(malformed("empty name"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(malformed("name may only contain [A-Za-z0-9_-]"));
+        }
+        let mut params = Vec::new();
+        if let Some(rest) = rest {
+            if rest.is_empty() {
+                return Err(malformed("trailing `:` without parameters"));
+            }
+            for part in rest.split(',') {
+                match part.split_once('=') {
+                    Some((k, v)) if !k.is_empty() && !v.is_empty() => {
+                        params.push((k.to_string(), v.to_string()));
+                    }
+                    Some(_) => return Err(malformed("empty key or value in parameter")),
+                    None if !part.is_empty() => params.push((String::new(), part.to_string())),
+                    None => return Err(malformed("empty parameter")),
+                }
+            }
+        }
+        Ok(Spec {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    /// The canonical spelling: `name` or `name:k=v,…`. Parsing the label
+    /// reproduces the spec (`parse(label(x)) == Ok(x)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut out = self.name.clone();
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            out.push(if i == 0 { ':' } else { ',' });
+            if !k.is_empty() {
+                out.push_str(k);
+                out.push('=');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// The value of the named parameter, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the named parameter as a `usize` with a default, rejecting
+    /// junk with a precise error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParam`] when the value does not parse.
+    pub fn usize_param(&self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| SpecError::InvalidParam {
+                spec: self.label(),
+                key: key.to_string(),
+                value: v.to_string(),
+                expected: "a non-negative integer".to_string(),
+            }),
+        }
+    }
+
+    /// Rejects parameters outside `known`, with an error naming the
+    /// valid keys — registries call this so typos fail loudly instead of
+    /// being ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnknownParam`] for the first unknown key
+    /// (positional parameters are exempt; entries that do not take them
+    /// should pass `allow_positional = false`).
+    pub fn expect_params(&self, known: &[&str], allow_positional: bool) -> Result<(), SpecError> {
+        for (k, v) in &self.params {
+            if k.is_empty() {
+                if allow_positional {
+                    continue;
+                }
+                return Err(SpecError::UnknownParam {
+                    spec: self.label(),
+                    key: v.clone(),
+                    known: known.iter().map(ToString::to_string).collect(),
+                });
+            }
+            if !known.contains(&k.as_str()) {
+                return Err(SpecError::UnknownParam {
+                    spec: self.label(),
+                    key: k.clone(),
+                    known: known.iter().map(ToString::to_string).collect(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Why a spec failed to parse or resolve. Shared by the algorithm and
+/// scheduler registries so CLI and library callers render one error
+/// vocabulary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecError {
+    /// The spec text does not match the grammar.
+    Malformed {
+        /// The offending input.
+        spec: String,
+        /// What was wrong with it.
+        why: String,
+    },
+    /// The name is not in the registry. Carries the registry contents
+    /// (and the nearest valid name, if one is close) so the error is
+    /// actionable.
+    UnknownName {
+        /// The name that failed to resolve.
+        name: String,
+        /// What kind of registry was searched (`"algorithm"`, `"scheduler"`).
+        kind: &'static str,
+        /// Every name the registry knows.
+        known: Vec<String>,
+        /// The closest registered name, if within editing distance.
+        suggestion: Option<String>,
+    },
+    /// A parameter key the entry does not take.
+    UnknownParam {
+        /// The full spec.
+        spec: String,
+        /// The unknown key.
+        key: String,
+        /// Keys the entry accepts.
+        known: Vec<String>,
+    },
+    /// The entry exists but cannot run at the requested process count.
+    TooFewProcesses {
+        /// The entry name.
+        name: String,
+        /// The requested process count.
+        n: usize,
+        /// The entry's floor.
+        min_n: usize,
+    },
+    /// A parameter value that does not parse or is out of range.
+    InvalidParam {
+        /// The full spec.
+        spec: String,
+        /// The parameter key.
+        key: String,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed { spec, why } => {
+                write!(f, "malformed spec `{spec}`: {why}")
+            }
+            SpecError::UnknownName {
+                name,
+                kind,
+                known,
+                suggestion,
+            } => {
+                write!(f, "unknown {kind} `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                write!(f, "; known: {}", known.join(", "))
+            }
+            SpecError::UnknownParam { spec, key, known } => {
+                write!(f, "`{spec}`: unknown parameter `{key}`")?;
+                if known.is_empty() {
+                    write!(f, " (this entry takes no parameters)")
+                } else {
+                    write!(f, " (accepted: {})", known.join(", "))
+                }
+            }
+            SpecError::TooFewProcesses { name, n, min_n } => {
+                write!(f, "`{name}` needs at least {min_n} processes (got n = {n})")
+            }
+            SpecError::InvalidParam {
+                spec,
+                key,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "`{spec}`: parameter `{key}={value}` invalid; expected {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// The nearest candidate to `name` within a small edit distance — the
+/// "did you mean" behind registry errors. Ties go to the earlier
+/// candidate; `None` when nothing is close enough to help.
+#[must_use]
+pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<String> {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        let d = edit_distance(name, c);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    // A suggestion further than half the name away is noise, not help.
+    let (d, c) = best?;
+    (d <= (name.chars().count() / 2).max(2)).then(|| c.to_string())
+}
+
+/// Levenshtein distance, O(|a|·|b|) time, O(|b|) space.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b_chars.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let next = (prev + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[b_chars.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for s in [
+            "sequential",
+            "burst:wave=2,gap=32",
+            "stagger:stride=5",
+            "filter:levels=7",
+            "a-b_c9",
+        ] {
+            let spec = Spec::parse(s).unwrap();
+            assert_eq!(spec.label(), s);
+            assert_eq!(Spec::parse(&spec.label()).unwrap(), spec);
+            assert_eq!(spec.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn positional_params_are_kept_with_empty_keys() {
+        let spec = Spec::parse("burst:2x32").unwrap();
+        assert_eq!(spec.params, vec![(String::new(), "2x32".to_string())]);
+        // Positional values round-trip through the label too.
+        assert_eq!(spec.label(), "burst:2x32");
+        assert_eq!(Spec::parse(&spec.label()).unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for s in [
+            "",
+            ":x=1",
+            "name:",
+            "name:=1",
+            "name:k=",
+            "name:k=1,",
+            "bad name",
+        ] {
+            assert!(Spec::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn param_helpers_validate() {
+        let spec = Spec::parse("x:levels=3").unwrap();
+        assert_eq!(spec.usize_param("levels", 9).unwrap(), 3);
+        assert_eq!(spec.usize_param("absent", 9).unwrap(), 9);
+        assert!(spec.expect_params(&["levels"], false).is_ok());
+        let err = spec.expect_params(&["depth"], false).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownParam { .. }));
+        assert!(err.to_string().contains("depth"));
+
+        let bad = Spec::parse("x:levels=lots").unwrap();
+        let err = bad.usize_param("levels", 9).unwrap_err();
+        assert!(err.to_string().contains("levels=lots"));
+    }
+
+    #[test]
+    fn suggestions_catch_near_misses_only() {
+        let names = ["dekker-tree", "peterson", "bakery"];
+        assert_eq!(suggest("bakey", names), Some("bakery".to_string()));
+        assert_eq!(suggest("petersen", names), Some("peterson".to_string()));
+        assert_eq!(suggest("zzzzzz", names), None);
+        assert_eq!(suggest("x", []), None);
+    }
+
+    #[test]
+    fn error_display_lists_registry_contents() {
+        let err = SpecError::UnknownName {
+            name: "petersen".into(),
+            kind: "algorithm",
+            known: vec!["peterson".into(), "bakery".into()],
+            suggestion: Some("peterson".into()),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean `peterson`"));
+        assert!(msg.contains("peterson, bakery"));
+    }
+}

@@ -175,8 +175,8 @@ impl<'a, A: Automaton> System<'a, A> {
     /// to check that first.
     #[must_use]
     pub fn read_changes_state(&self, pid: ProcessId, value: Value) -> bool {
-        let s = self.state(pid);
-        self.alg.observe(pid, s, Observation::Read(value)) != *s
+        self.alg
+            .observe_changes(pid, self.state(pid), Observation::Read(value))
     }
 
     /// Whether executing `pid`'s next step *right now* would change its
@@ -188,14 +188,13 @@ impl<'a, A: Automaton> System<'a, A> {
     /// already spinning on returns `false` here.
     #[must_use]
     pub fn step_changes_state(&self, pid: ProcessId) -> bool {
-        let s = self.state(pid);
         let obs = match self.peek(pid) {
             NextStep::Read(reg) => Observation::Read(self.register(reg)),
             NextStep::Write(..) => Observation::Write,
             NextStep::Rmw(reg, _) => Observation::Rmw(self.register(reg)),
             NextStep::Crit(_) => Observation::Crit,
         };
-        self.alg.observe(pid, s, obs) != *s
+        self.alg.observe_changes(pid, self.state(pid), obs)
     }
 
     /// Executes the next step of `pid` and returns what happened.
@@ -273,10 +272,7 @@ impl<'a, A: Automaton> System<'a, A> {
                 (Step::crit(pid, kind), Observation::Crit, None)
             }
         };
-        let old = &self.states[i];
-        let new = self.alg.observe(pid, old, obs);
-        let state_changed = new != *old;
-        self.states[i] = new;
+        let state_changed = self.alg.observe_in_place(pid, &mut self.states[i], obs);
         Executed {
             step,
             state_changed,

@@ -23,6 +23,34 @@ enum AltPhase {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct AltState(AltPhase);
 
+// Alternator states pack into one inline word, so the testing fixture
+// also exercises `dynamic`'s allocation-free erasure path (`Packed`).
+impl crate::dynamic::WordState for AltState {
+    const WORDS: usize = 1;
+
+    fn pack(&self, out: &mut [u64]) {
+        out[0] = match self.0 {
+            AltPhase::Remainder => 0,
+            AltPhase::Waiting => 1,
+            AltPhase::Entering => 2,
+            AltPhase::Critical => 3,
+            AltPhase::Exiting => 4,
+            AltPhase::HandOver => 5,
+        };
+    }
+
+    fn unpack(words: &[u64]) -> Self {
+        AltState(match words[0] {
+            0 => AltPhase::Remainder,
+            1 => AltPhase::Waiting,
+            2 => AltPhase::Entering,
+            3 => AltPhase::Critical,
+            4 => AltPhase::Exiting,
+            _ => AltPhase::HandOver,
+        })
+    }
+}
+
 /// A token-ring "lock": a single `turn` register cycles through process
 /// indices; process `i` busy-waits until `turn == i`, enters, and hands
 /// the token to `i + 1 (mod n)`.

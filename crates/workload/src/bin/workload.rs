@@ -6,13 +6,18 @@
 //! workload --algs dekker-tree,bakery --n 8 --passages 2 \
 //!          --scheds greedy,random,burst,stagger --seeds 8 \
 //!          --threads 4 --json sweep.json --csv sweep.csv
-//! workload --list-algs                      # algorithm names
+//! workload --algs filter:levels=6 --scheds burst:wave=2,gap=32
+//! workload --list                           # both registries, with metadata
 //! ```
+//!
+//! Algorithms and schedulers are registry specs; unknown names fail
+//! with the registry contents and a nearest-name suggestion.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use exclusion_mutex::AnyAlgorithm;
-use exclusion_shmem::Automaton;
+use exclusion_mutex::registry::AlgorithmRegistry;
+use exclusion_workload::schedreg::SchedulerRegistry;
 use exclusion_workload::{sweep, Scenario, SchedSpec, SweepOptions};
 
 const USAGE: &str = "\
@@ -22,12 +27,22 @@ USAGE:
     workload [OPTIONS]
 
 OPTIONS:
-    --algs A,B,...       algorithms to sweep (default: dekker-tree,peterson)
+    --algs A,B,...       algorithm specs to sweep (default:
+                         dekker-tree,peterson); parameterized specs like
+                         filter:levels=6 or ttas-sim:backoff=4 work
     --n N                processes per run (default: 8)
     --passages P         passages per process (default: 2)
-    --scheds S,T,...     schedulers: sequential | round-robin | random |
-                         greedy | burst[:WxG] | stagger[:STRIDE]
-                         (default: greedy,random,burst,stagger)
+    --scheds S,T,...     scheduler specs: sequential | round-robin |
+                         random | greedy | burst[:wave=W,gap=G] |
+                         stagger[:stride=S] (legacy burst:WxG and
+                         stagger:S also parse; default:
+                         greedy,random,burst,stagger)
+
+                         Multi-parameter specs work inside a list
+                         (greedy,burst:wave=2,gap=32,stagger parses as
+                         two specs: a `k=v` fragment cannot start a
+                         spec, so it attaches to the one before it),
+                         and repeating --algs/--scheds appends
     --seeds K            seed-grid size for seeded schedulers (default: 8)
     --seed-base B        first seed of the grid (default: 1)
     --threads T          worker threads, 0 = one per core (default: 0)
@@ -40,6 +55,8 @@ OPTIONS:
     --json PATH          write the JSON report (`-` for stdout)
     --csv PATH           write the per-run CSV (`-` for stdout)
     --quiet              suppress the summary table and timing
+    --list               print both registries (entries, parameters,
+                         metadata) and exit
     --list-algs          print known algorithm names and exit
     --help               this text
 ";
@@ -57,6 +74,67 @@ struct Args {
     json: Option<String>,
     csv: Option<String>,
     quiet: bool,
+}
+
+/// Splits a comma-separated spec list, keeping multi-parameter specs
+/// whole: a fragment that cannot *start* a spec (its name part
+/// contains `=`) is a continuation of the previous spec's parameter
+/// list, so `greedy,burst:wave=2,gap=32` is two specs, not three.
+fn split_specs(s: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for part in s.split(',') {
+        let starts_spec = !part.split(':').next().unwrap_or("").contains('=');
+        match out.last_mut() {
+            Some(last) if !starts_spec => {
+                last.push(',');
+                last.push_str(part);
+            }
+            _ => out.push(part.to_string()),
+        }
+    }
+    out
+}
+
+/// Both registries rendered as aligned text — the CLI's `--list`.
+fn render_registries(algs: &AlgorithmRegistry, scheds: &SchedulerRegistry) -> String {
+    let mut out = String::from("algorithms:\n");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>5}  {:<5} {:<11} summary / params",
+        "name", "min_n", "rmw", "cost"
+    );
+    for e in algs.entries() {
+        let i = e.info();
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>5}  {:<5} {:<11} {}",
+            i.name, i.min_n, i.uses_rmw, i.cost_class, i.summary
+        );
+        for p in &i.params {
+            let _ = writeln!(out, "  {:<37} :{}=…  {}", "", p.key, p.help);
+        }
+    }
+    out.push_str("\nschedulers:\n");
+    let _ = writeln!(
+        out,
+        "  {:<17} {:<7} {:<18} summary / params",
+        "name", "seeded", "aliases"
+    );
+    for e in scheds.entries() {
+        let i = e.info();
+        let _ = writeln!(
+            out,
+            "  {:<17} {:<7} {:<18} {}",
+            i.name,
+            i.seeded,
+            i.aliases.join(","),
+            i.summary
+        );
+        for p in &i.params {
+            let _ = writeln!(out, "  {:<44} :{}=…  {}", "", p.key, p.help);
+        }
+    }
+    out
 }
 
 fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
@@ -79,6 +157,11 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         csv: None,
         quiet: false,
     };
+    // First --algs/--scheds replaces the default list; repeats append,
+    // so multi-parameter specs (whose commas would collide with the
+    // list separator) can ride in their own flag occurrence.
+    let mut algs_set = false;
+    let mut scheds_set = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -87,12 +170,24 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
-            "--algs" => args.algs = value()?.split(',').map(str::to_string).collect(),
+            "--algs" => {
+                let mut items = split_specs(&value()?);
+                if !std::mem::replace(&mut algs_set, true) {
+                    args.algs.clear();
+                }
+                args.algs.append(&mut items);
+            }
             "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
             "--passages" => {
                 args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
             }
-            "--scheds" => args.scheds = value()?.split(',').map(str::to_string).collect(),
+            "--scheds" => {
+                let mut items = split_specs(&value()?);
+                if !std::mem::replace(&mut scheds_set, true) {
+                    args.scheds.clear();
+                }
+                args.scheds.append(&mut items);
+            }
             "--seeds" => args.seeds = value()?.parse().map_err(|e| format!("--seeds: {e}"))?,
             "--seed-base" => {
                 args.seed_base = value()?.parse().map_err(|e| format!("--seed-base: {e}"))?;
@@ -108,9 +203,16 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--json" => args.json = Some(value()?),
             "--csv" => args.csv = Some(value()?),
             "--quiet" => args.quiet = true,
+            "--list" => {
+                print!(
+                    "{}",
+                    render_registries(AlgorithmRegistry::global(), SchedulerRegistry::global())
+                );
+                return Ok(None);
+            }
             "--list-algs" => {
-                for alg in AnyAlgorithm::full_suite(2) {
-                    println!("{}", alg.name());
+                for name in AlgorithmRegistry::global().names() {
+                    println!("{name}");
                 }
                 return Ok(None);
             }
@@ -127,13 +229,16 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
     Ok(Some(args))
 }
 
+/// The grid is wired through the registries: scenario construction
+/// parses both specs and resolves them once, so unknown names and bad
+/// parameters fail here — with the registry contents and a
+/// nearest-name suggestion in the message — before anything runs.
 fn build_grid(args: &Args) -> Result<Vec<Scenario>, String> {
     let seeds: Vec<u64> = (0..args.seeds).map(|k| args.seed_base + k).collect();
     let mut scenarios = Vec::new();
     for alg in &args.algs {
         for sched_name in &args.scheds {
-            let sched = SchedSpec::parse(sched_name, args.n)
-                .ok_or_else(|| format!("unknown scheduler `{sched_name}` (try --help)"))?;
+            let sched = SchedSpec::parse(sched_name).map_err(|e| e.to_string())?;
             let scenario = Scenario::builder(alg.clone(), args.n)
                 .passages(args.passages)
                 .sched(sched)

@@ -5,11 +5,16 @@
 //! — a scheduler — can force an algorithm to pay. This crate turns that
 //! viewpoint into an engine:
 //!
-//! * [`Scenario`] describes one workload: an algorithm (by name, via
-//!   `AnyAlgorithm::by_name`), a process count, a passage target, a
-//!   scheduling policy ([`SchedSpec`] — including the greedy
-//!   cost-maximizing adversary and burst/stagger arrival patterns from
-//!   `exclusion_shmem::sched`), and a seed grid;
+//! * [`Scenario`] describes one workload: an algorithm (a spec like
+//!   `"dekker-tree"` or `"filter:levels=5"`, resolved against
+//!   `exclusion_mutex`'s open `AlgorithmRegistry`), a process count, a
+//!   passage target, a scheduling policy ([`SchedSpec`], resolved
+//!   against this crate's [`SchedulerRegistry`] — including the greedy
+//!   cost-maximizing adversary and burst/stagger arrival patterns),
+//!   and a seed grid. Resolution happens once, at build time: the
+//!   scenario carries live registry handles, and downstream crates can
+//!   sweep their own registered algorithms and schedulers through
+//!   [`ScenarioBuilder::build_with`];
 //! * [`sweep`] runs a batch of scenarios sharded across worker threads,
 //!   prices every run under the SC, CC and DSM cost models, and
 //!   aggregates min/percentile/max/mean summaries — results are
@@ -31,10 +36,10 @@
 //!
 //! let scenarios = vec![
 //!     Scenario::builder("dekker-tree", 8)
-//!         .sched(SchedSpec::Greedy)
+//!         .sched(SchedSpec::greedy())
 //!         .build()?,
 //!     Scenario::builder("dekker-tree", 8)
-//!         .sched(SchedSpec::Random)
+//!         .sched(SchedSpec::random())
 //!         .seeds(0..8)
 //!         .build()?,
 //! ];
@@ -53,7 +58,9 @@
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod schedreg;
 
 pub use report::JSON_SCHEMA;
 pub use runner::{sweep, ModelSummary, RunRecord, ScenarioSummary, SweepOptions, SweepReport};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SchedSpec};
+pub use schedreg::{ResolvedSched, SchedBuilder, SchedulerEntry, SchedulerInfo, SchedulerRegistry};

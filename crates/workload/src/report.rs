@@ -199,12 +199,12 @@ mod tests {
     fn small_report() -> SweepReport {
         let scenarios = vec![
             Scenario::builder("peterson", 3)
-                .sched(SchedSpec::Random)
+                .sched(SchedSpec::random())
                 .seeds(0..3)
                 .build()
                 .unwrap(),
             Scenario::builder("peterson", 3)
-                .sched(SchedSpec::Greedy)
+                .sched(SchedSpec::greedy())
                 .build()
                 .unwrap(),
         ];

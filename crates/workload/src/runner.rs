@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use exclusion_cost::{all_costs, run_priced};
-use exclusion_mutex::AnyAlgorithm;
+use exclusion_shmem::dynamic::DynRef;
 use exclusion_shmem::sched::run_scheduler;
 
 use crate::scenario::Scenario;
@@ -190,7 +190,7 @@ fn run_one(sc: &Scenario, seed: u64, record_executions: bool) -> RunRecord {
     let mut record = RunRecord {
         scenario: sc.name.clone(),
         algorithm: sc.algorithm.clone(),
-        scheduler: sc.sched.label(),
+        scheduler: sc.scheduler.clone(),
         n: sc.n,
         passages: sc.passages,
         seed,
@@ -202,11 +202,11 @@ fn run_one(sc: &Scenario, seed: u64, record_executions: bool) -> RunRecord {
         wall_ns: 0,
         error: None,
     };
-    let Some(alg) = AnyAlgorithm::by_name(&sc.algorithm, sc.n) else {
-        record.error = Some(format!("unknown algorithm `{}`", sc.algorithm));
-        return record;
-    };
-    let mut sched = sc.sched.build(sc.n, sc.passages, seed);
+    // The algorithm was resolved once, when the scenario was built; the
+    // handle is shared across the whole seed grid (and every worker
+    // thread), so a run starts with zero lookups and zero validation.
+    let alg = DynRef(sc.automaton().as_ref());
+    let mut sched = sc.build_scheduler(seed);
     let start = Instant::now();
     if record_executions {
         match run_scheduler(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
@@ -297,7 +297,7 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
             ScenarioSummary {
                 scenario: sc.name.clone(),
                 algorithm: sc.algorithm.clone(),
-                scheduler: sc.sched.label(),
+                scheduler: sc.scheduler.clone(),
                 n: sc.n,
                 passages: sc.passages,
                 runs: ok.len(),
@@ -322,10 +322,10 @@ mod tests {
         let mut out = Vec::new();
         for alg in ["dekker-tree", "peterson"] {
             for sched in [
-                SchedSpec::RoundRobin,
-                SchedSpec::Random,
-                SchedSpec::Greedy,
-                SchedSpec::Stagger { stride: 8 },
+                SchedSpec::round_robin(),
+                SchedSpec::random(),
+                SchedSpec::greedy(),
+                SchedSpec::stagger(8),
             ] {
                 out.push(
                     Scenario::builder(alg, 4)
@@ -400,7 +400,7 @@ mod tests {
     #[test]
     fn runs_carry_wall_clock_timings() {
         let sc = Scenario::builder("peterson", 3)
-            .sched(SchedSpec::RoundRobin)
+            .sched(SchedSpec::round_robin())
             .build()
             .unwrap();
         let report = sweep(&[sc], &SweepOptions::default());
@@ -411,7 +411,7 @@ mod tests {
     fn duplicate_scenario_names_get_separate_summaries() {
         let sc = Scenario::builder("peterson", 3)
             .name("same")
-            .sched(SchedSpec::Random)
+            .sched(SchedSpec::random())
             .seeds(0..3)
             .build()
             .unwrap();
@@ -426,7 +426,7 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported_not_fatal() {
         let sc = Scenario::builder("bakery", 4)
-            .sched(SchedSpec::RoundRobin)
+            .sched(SchedSpec::round_robin())
             .max_steps(3)
             .build()
             .unwrap();

@@ -1,156 +1,146 @@
 //! Scenario descriptions: which algorithm, at what size, under which
 //! contention pattern, over which seed grid.
+//!
+//! Both the algorithm and the contention pattern are *specs* —
+//! `name[:key=value,…]` strings resolved against open registries
+//! ([`AlgorithmRegistry`] from `exclusion-mutex`, [`SchedulerRegistry`]
+//! from this crate) — so anything registered, built-in or downstream,
+//! can be swept without touching an enum or a parser. Resolution
+//! happens **once, at build time**: a [`Scenario`] carries the live
+//! handles (the erased automaton, the per-run scheduler builder), so
+//! the sweep's per-seed hot loop performs no lookups and validation
+//! errors (unknown names, bad parameters, too few processes for the
+//! algorithm) surface before anything runs.
 
 use std::error::Error;
 use std::fmt;
 
-use exclusion_mutex::AnyAlgorithm;
-use exclusion_shmem::sched::{Burst, GreedyAdversary, Random, RoundRobin, Sequential, Stagger};
-use exclusion_shmem::{ProcessId, Scheduler};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use exclusion_mutex::registry::{AlgorithmRegistry, DynAlgorithm, ResolvedAlgorithm};
+use exclusion_shmem::spec::{Spec, SpecError};
+use exclusion_shmem::Scheduler;
 
-/// A scheduling policy, by description. Where [`Scheduler`]s are live
-/// stateful objects, a `SchedSpec` is a value: comparable, printable,
-/// and buildable any number of times (once per run of a sweep).
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum SchedSpec {
-    /// The canonical no-contention schedule in identity order.
-    Sequential,
-    /// Deterministic fair interleaving.
-    RoundRobin,
-    /// Uniform random fair interleaving; one run per seed.
-    Random,
-    /// The greedy cost-maximizing adversary.
-    Greedy,
-    /// Phased arrival in waves of `wave` processes every `gap` steps.
-    Burst {
-        /// Processes per wave.
-        wave: usize,
-        /// Steps between waves.
-        gap: usize,
-    },
-    /// Staggered arrival: the i-th *arrival* is enabled at `i * stride`
-    /// steps, with the arrival order drawn from the run's seed.
-    Stagger {
-        /// Steps between consecutive arrivals.
-        stride: usize,
-    },
-}
+use crate::schedreg::{ResolvedSched, SchedulerRegistry};
+
+/// A scheduling policy, by spec. Where [`Scheduler`]s are live stateful
+/// objects, a `SchedSpec` is a value: comparable, printable, and
+/// resolvable any number of times against a [`SchedulerRegistry`].
+///
+/// The convenience constructors cover the built-in policies; arbitrary
+/// (including downstream-registered) policies come from
+/// [`parse`](SchedSpec::parse) or [`from_spec`](SchedSpec::from_spec).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SchedSpec(Spec);
 
 impl SchedSpec {
-    /// Whether runs of this spec depend on the seed (and a seed grid is
-    /// therefore worth sweeping).
+    /// The canonical no-contention schedule in identity order.
     #[must_use]
-    pub fn is_seeded(&self) -> bool {
-        matches!(self, SchedSpec::Random | SchedSpec::Stagger { .. })
+    pub fn sequential() -> Self {
+        SchedSpec(Spec::new("sequential"))
     }
 
-    /// A stable label for reports (e.g. `"burst(w2,g16)"`).
+    /// Deterministic fair interleaving.
+    #[must_use]
+    pub fn round_robin() -> Self {
+        SchedSpec(Spec::new("round-robin"))
+    }
+
+    /// Uniform random fair interleaving; one run per seed.
+    #[must_use]
+    pub fn random() -> Self {
+        SchedSpec(Spec::new("random"))
+    }
+
+    /// The greedy cost-maximizing adversary.
+    #[must_use]
+    pub fn greedy() -> Self {
+        SchedSpec(Spec::new("greedy-adversary"))
+    }
+
+    /// Phased arrival in waves of `wave` processes every `gap` steps.
+    #[must_use]
+    pub fn burst(wave: usize, gap: usize) -> Self {
+        SchedSpec(Spec::new("burst").with("wave", wave).with("gap", gap))
+    }
+
+    /// Staggered arrival: the i-th *arrival* is enabled at `i * stride`
+    /// steps, with the arrival order drawn from the run's seed.
+    #[must_use]
+    pub fn stagger(stride: usize) -> Self {
+        SchedSpec(Spec::new("stagger").with("stride", stride))
+    }
+
+    /// Parses a spec spelling — canonical (`"burst:wave=2,gap=32"`),
+    /// aliased (`"rr"`, `"greedy"`), or legacy positional
+    /// (`"burst:2x32"`, `"stagger:5"`).
+    ///
+    /// Syntax only; whether the name resolves is decided against a
+    /// registry (at [`ScenarioBuilder::build`] time, or directly via
+    /// [`SchedulerRegistry::resolve`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Malformed`] when the text does not match
+    /// the spec grammar.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        Ok(SchedSpec(Spec::parse(s)?))
+    }
+
+    /// Wraps an already-parsed [`Spec`].
+    #[must_use]
+    pub fn from_spec(spec: Spec) -> Self {
+        SchedSpec(spec)
+    }
+
+    /// The underlying spec.
+    #[must_use]
+    pub fn spec(&self) -> &Spec {
+        &self.0
+    }
+
+    /// The spec's spelling (`parse(label()) == Ok(self)`); note that
+    /// *resolved* report labels may differ by making defaults explicit
+    /// (`"burst"` resolves to the label `"burst:wave=4,gap=16"` at
+    /// `n = 8`).
     #[must_use]
     pub fn label(&self) -> String {
-        match self {
-            SchedSpec::Sequential => "sequential".into(),
-            SchedSpec::RoundRobin => "round-robin".into(),
-            SchedSpec::Random => "random".into(),
-            SchedSpec::Greedy => "greedy-adversary".into(),
-            SchedSpec::Burst { wave, gap } => format!("burst(w{wave},g{gap})"),
-            SchedSpec::Stagger { stride } => format!("stagger(s{stride})"),
-        }
+        self.0.label()
     }
+}
 
-    /// Parses a CLI spelling: `sequential`, `round-robin`, `random`,
-    /// `greedy`, `burst` / `burst:WxG`, `stagger` / `stagger:S`.
-    /// Defaults scale with `n`: waves of `⌈n/2⌉` every `2n` steps,
-    /// stagger stride `2n`.
-    #[must_use]
-    pub fn parse(s: &str, n: usize) -> Option<SchedSpec> {
-        let (head, param) = match s.split_once(':') {
-            Some((h, p)) => (h, Some(p)),
-            None => (s, None),
-        };
-        match (head, param) {
-            ("sequential" | "seq", None) => Some(SchedSpec::Sequential),
-            ("round-robin" | "rr", None) => Some(SchedSpec::RoundRobin),
-            ("random", None) => Some(SchedSpec::Random),
-            ("greedy" | "greedy-adversary" | "adversary", None) => Some(SchedSpec::Greedy),
-            ("burst", None) => Some(SchedSpec::Burst {
-                wave: n.div_ceil(2).max(1),
-                gap: 2 * n,
-            }),
-            ("burst", Some(p)) => {
-                let (w, g) = p.split_once('x')?;
-                Some(SchedSpec::Burst {
-                    wave: w.parse().ok().filter(|&w: &usize| w > 0)?,
-                    gap: g.parse().ok()?,
-                })
-            }
-            ("stagger", None) => Some(SchedSpec::Stagger { stride: 2 * n }),
-            ("stagger", Some(p)) => Some(SchedSpec::Stagger {
-                stride: p.parse().ok()?,
-            }),
-            _ => None,
-        }
-    }
-
-    /// Builds a live scheduler for `n` processes driven to `passages`
-    /// passages each. `seed` feeds the seeded specs ([`Random`], and
-    /// the arrival order of [`Stagger`](SchedSpec::Stagger)); unseeded
-    /// specs ignore it. Only [`Sequential`] needs `passages` (its order
-    /// encodes the target); the drivers take the target from the run.
-    #[must_use]
-    pub fn build(&self, n: usize, passages: usize, seed: u64) -> Box<dyn Scheduler> {
-        match *self {
-            SchedSpec::Sequential => {
-                let mut order = Vec::with_capacity(n * passages);
-                for _ in 0..passages {
-                    order.extend(ProcessId::all(n));
-                }
-                Box::new(Sequential::new(order))
-            }
-            SchedSpec::RoundRobin => Box::new(RoundRobin::new()),
-            SchedSpec::Random => Box::new(Random::new(seed)),
-            SchedSpec::Greedy => Box::new(GreedyAdversary::new()),
-            SchedSpec::Burst { wave, gap } => Box::new(Burst::new(wave, gap)),
-            SchedSpec::Stagger { stride } => {
-                // Arrival *order* is the seeded part: the i-th arriving
-                // process is enabled at i*stride.
-                let mut order: Vec<usize> = (0..n).collect();
-                order.shuffle(&mut StdRng::seed_from_u64(seed));
-                let mut enable = vec![0usize; n];
-                for (rank, &p) in order.iter().enumerate() {
-                    enable[p] = rank * stride;
-                }
-                Box::new(Stagger::new(enable))
-            }
-        }
+impl fmt::Display for SchedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.label())
     }
 }
 
 /// A scenario: one algorithm at one size, driven to a passage count by
-/// one scheduling policy, over a seed grid. Built with
-/// [`Scenario::builder`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+/// one scheduling policy, over a seed grid — with both registry handles
+/// already resolved. Built with [`Scenario::builder`].
+#[derive(Clone)]
 pub struct Scenario {
     /// Report name, unique within a sweep.
     pub name: String,
-    /// Algorithm name as understood by [`AnyAlgorithm::by_name`].
+    /// Resolved algorithm label (canonical spec, e.g.
+    /// `"filter:levels=5"`).
     pub algorithm: String,
+    /// Resolved scheduler label (canonical spec with concrete
+    /// parameters, e.g. `"burst:wave=4,gap=16"`).
+    pub scheduler: String,
     /// Number of processes.
     pub n: usize,
     /// Passages every process completes.
     pub passages: usize,
-    /// The scheduling policy.
-    pub sched: SchedSpec,
     /// Seed grid. Unseeded policies run once (on the first seed).
     pub seeds: Vec<u64>,
     /// Step budget per run.
     pub max_steps: usize,
+    alg: ResolvedAlgorithm,
+    sched: ResolvedSched,
 }
 
 impl Scenario {
-    /// Starts building a scenario for `algorithm` at `n` processes.
+    /// Starts building a scenario for `algorithm` (a spec string) at
+    /// `n` processes.
     #[must_use]
     pub fn builder(algorithm: impl Into<String>, n: usize) -> ScenarioBuilder {
         ScenarioBuilder {
@@ -158,17 +148,43 @@ impl Scenario {
             algorithm: algorithm.into(),
             n,
             passages: 1,
-            sched: SchedSpec::RoundRobin,
+            sched: SchedSpec::round_robin(),
             seeds: vec![0],
             max_steps: 50_000_000,
         }
+    }
+
+    /// The resolved erased automaton — shared (it is an `Arc`) by every
+    /// run of the scenario across the sweep's worker threads.
+    #[must_use]
+    pub fn automaton(&self) -> &DynAlgorithm {
+        &self.alg.automaton
+    }
+
+    /// Whether the resolved algorithm uses RMW primitives.
+    #[must_use]
+    pub fn uses_rmw(&self) -> bool {
+        self.alg.uses_rmw
+    }
+
+    /// Whether runs depend on the seed.
+    #[must_use]
+    pub fn seeded(&self) -> bool {
+        self.sched.seeded
+    }
+
+    /// A live scheduler for one run — no lookup, no re-validation; just
+    /// the resolved entry's constructor.
+    #[must_use]
+    pub fn build_scheduler(&self, seed: u64) -> Box<dyn Scheduler> {
+        self.sched.build(self.passages, seed)
     }
 
     /// The seeds this scenario actually runs: the full grid for seeded
     /// policies, the first seed only for deterministic ones.
     #[must_use]
     pub fn effective_seeds(&self) -> &[u64] {
-        if self.sched.is_seeded() {
+        if self.seeded() {
             &self.seeds
         } else {
             &self.seeds[..1]
@@ -176,7 +192,54 @@ impl Scenario {
     }
 }
 
-/// Builder for [`Scenario`]; validates on [`build`](ScenarioBuilder::build).
+impl PartialEq for Scenario {
+    fn eq(&self, other: &Self) -> bool {
+        // The resolved handles are functions of the labels and `n`
+        // *within one registry*, so comparing the describable fields is
+        // exact for scenarios built against the same registries (the
+        // overwhelmingly common case: `build()`). Scenarios from
+        // different `build_with` registries that shadow the same name
+        // with different constructors compare equal despite running
+        // different code — don't key caches on `Scenario` equality
+        // across registries.
+        (
+            &self.name,
+            &self.algorithm,
+            &self.scheduler,
+            self.n,
+            self.passages,
+            &self.seeds,
+            self.max_steps,
+        ) == (
+            &other.name,
+            &other.algorithm,
+            &other.scheduler,
+            other.n,
+            other.passages,
+            &other.seeds,
+            other.max_steps,
+        )
+    }
+}
+
+impl Eq for Scenario {}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("algorithm", &self.algorithm)
+            .field("scheduler", &self.scheduler)
+            .field("n", &self.n)
+            .field("passages", &self.passages)
+            .field("seeds", &self.seeds)
+            .field("max_steps", &self.max_steps)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Scenario`]; validates and resolves on
+/// [`build`](ScenarioBuilder::build).
 #[derive(Clone, Debug)]
 pub struct ScenarioBuilder {
     name: Option<String>,
@@ -224,13 +287,37 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Validates and builds the scenario.
+    /// Validates and builds the scenario against the default (global)
+    /// registries.
     ///
     /// # Errors
     ///
-    /// Rejects unknown algorithm names, `n = 0`, `passages = 0`, an
-    /// empty seed grid, and a zero step budget.
+    /// As [`build_with`](ScenarioBuilder::build_with).
     pub fn build(self) -> Result<Scenario, ScenarioError> {
+        self.build_with(AlgorithmRegistry::global(), SchedulerRegistry::global())
+    }
+
+    /// Validates and builds the scenario against explicit registries —
+    /// the entry point for downstream crates sweeping their own
+    /// algorithms or schedulers.
+    ///
+    /// Both specs are resolved here, at the scenario's *actual* `n`
+    /// (validated against the algorithm's `min_n` floor), and the
+    /// resolved handles ride inside the scenario: `sweep`'s per-seed
+    /// loop never looks anything up again.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n = 0`, `passages = 0`, an empty seed grid, a zero step
+    /// budget, and — via [`ScenarioError::Spec`] — malformed specs,
+    /// unknown names (with the registry contents and a nearest-name
+    /// suggestion), invalid parameters, and `n` below the algorithm's
+    /// `min_n`.
+    pub fn build_with(
+        self,
+        algorithms: &AlgorithmRegistry,
+        schedulers: &SchedulerRegistry,
+    ) -> Result<Scenario, ScenarioError> {
         if self.n == 0 {
             return Err(ScenarioError::ZeroProcesses);
         }
@@ -243,26 +330,25 @@ impl ScenarioBuilder {
         if self.max_steps == 0 {
             return Err(ScenarioError::NoBudget);
         }
-        if AnyAlgorithm::by_name(&self.algorithm, self.n.max(2)).is_none() {
-            return Err(ScenarioError::UnknownAlgorithm(self.algorithm));
-        }
+        let alg_spec = Spec::parse(&self.algorithm)?;
+        let alg = algorithms.resolve(&alg_spec, self.n)?;
+        let sched = schedulers.resolve(self.sched.spec(), self.n)?;
         let name = self.name.unwrap_or_else(|| {
             format!(
                 "{}/{}/n{}x{}",
-                self.algorithm,
-                self.sched.label(),
-                self.n,
-                self.passages
+                alg.label, sched.label, self.n, self.passages
             )
         });
         Ok(Scenario {
             name,
-            algorithm: self.algorithm,
+            algorithm: alg.label.clone(),
+            scheduler: sched.label.clone(),
             n: self.n,
             passages: self.passages,
-            sched: self.sched,
             seeds: self.seeds,
             max_steps: self.max_steps,
+            alg,
+            sched,
         })
     }
 }
@@ -270,8 +356,10 @@ impl ScenarioBuilder {
 /// Why a [`ScenarioBuilder`] refused to build.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ScenarioError {
-    /// The algorithm name is not in [`AnyAlgorithm`]'s suite.
-    UnknownAlgorithm(String),
+    /// An algorithm or scheduler spec failed to parse or resolve
+    /// (unknown name, invalid parameter, `n` below the algorithm's
+    /// `min_n` floor).
+    Spec(SpecError),
     /// `n = 0`.
     ZeroProcesses,
     /// `passages = 0`.
@@ -282,15 +370,16 @@ pub enum ScenarioError {
     NoBudget,
 }
 
+impl From<SpecError> for ScenarioError {
+    fn from(e: SpecError) -> Self {
+        ScenarioError::Spec(e)
+    }
+}
+
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScenarioError::UnknownAlgorithm(name) => {
-                write!(
-                    f,
-                    "unknown algorithm `{name}` (see `AnyAlgorithm::full_suite`)"
-                )
-            }
+            ScenarioError::Spec(e) => e.fmt(f),
             ScenarioError::ZeroProcesses => write!(f, "a scenario needs at least one process"),
             ScenarioError::ZeroPassages => write!(f, "a scenario needs at least one passage"),
             ScenarioError::NoSeeds => write!(f, "a scenario needs at least one seed"),
@@ -299,7 +388,14 @@ impl fmt::Display for ScenarioError {
     }
 }
 
-impl Error for ScenarioError {}
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -309,16 +405,24 @@ mod tests {
     fn builder_derives_names_and_validates() {
         let sc = Scenario::builder("dekker-tree", 8)
             .passages(2)
-            .sched(SchedSpec::Greedy)
+            .sched(SchedSpec::greedy())
             .seeds(0..4)
             .build()
             .unwrap();
         assert_eq!(sc.name, "dekker-tree/greedy-adversary/n8x2");
         // Greedy is deterministic: only one effective seed.
         assert_eq!(sc.effective_seeds(), &[0]);
+        assert!(!sc.uses_rmw());
 
         let err = Scenario::builder("no-such-lock", 4).build().unwrap_err();
-        assert!(matches!(err, ScenarioError::UnknownAlgorithm(_)));
+        assert!(matches!(
+            err,
+            ScenarioError::Spec(SpecError::UnknownName { .. })
+        ));
+        assert!(
+            err.to_string().contains("dekker-tree"),
+            "lists registry: {err}"
+        );
         assert!(Scenario::builder("bakery", 0).build().is_err());
         assert!(Scenario::builder("bakery", 4).seeds([]).build().is_err());
         assert!(Scenario::builder("bakery", 4).passages(0).build().is_err());
@@ -326,51 +430,110 @@ mod tests {
     }
 
     #[test]
-    fn parse_covers_every_spelling() {
-        assert_eq!(SchedSpec::parse("rr", 8), Some(SchedSpec::RoundRobin));
-        assert_eq!(SchedSpec::parse("seq", 8), Some(SchedSpec::Sequential));
-        assert_eq!(SchedSpec::parse("random", 8), Some(SchedSpec::Random));
-        assert_eq!(SchedSpec::parse("greedy", 8), Some(SchedSpec::Greedy));
-        assert_eq!(
-            SchedSpec::parse("burst", 8),
-            Some(SchedSpec::Burst { wave: 4, gap: 16 })
+    fn build_validates_at_the_actual_n_not_a_floor() {
+        use exclusion_mutex::registry::{AlgorithmEntry, AlgorithmInfo};
+        use std::sync::Arc;
+        // An entry that genuinely needs n >= 2: building it at n = 1
+        // must fail at *build* time, not at run time.
+        let mut algs = AlgorithmRegistry::standard();
+        algs.register(AlgorithmEntry::new(
+            AlgorithmInfo {
+                name: "needs-two".into(),
+                aliases: vec![],
+                summary: "min_n floor fixture".into(),
+                min_n: 2,
+                uses_rmw: false,
+                cost_class: "test".into(),
+                params: vec![],
+            },
+            |_, n| Ok(Arc::new(exclusion_mutex::Peterson::new(n))),
+        ));
+        let scheds = SchedulerRegistry::standard();
+        assert!(Scenario::builder("needs-two", 2)
+            .build_with(&algs, &scheds)
+            .is_ok());
+        let err = Scenario::builder("needs-two", 1)
+            .build_with(&algs, &scheds)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ScenarioError::Spec(SpecError::TooFewProcesses { n: 1, min_n: 2, .. })
+            ),
+            "{err}"
         );
-        assert_eq!(
-            SchedSpec::parse("burst:2x32", 8),
-            Some(SchedSpec::Burst { wave: 2, gap: 32 })
-        );
-        assert_eq!(
-            SchedSpec::parse("stagger:5", 8),
-            Some(SchedSpec::Stagger { stride: 5 })
-        );
-        assert_eq!(SchedSpec::parse("burst:0x4", 8), None);
-        assert_eq!(SchedSpec::parse("nope", 8), None);
+        // The standard suite runs all the way down to n = 1.
+        assert!(Scenario::builder("bakery", 1).build().is_ok());
+    }
+
+    #[test]
+    fn parameterized_specs_flow_into_names_and_labels() {
+        let sc = Scenario::builder("filter:levels=5", 4)
+            .sched(SchedSpec::burst(2, 32))
+            .build()
+            .unwrap();
+        assert_eq!(sc.algorithm, "filter:levels=5");
+        assert_eq!(sc.scheduler, "burst:wave=2,gap=32");
+        assert_eq!(sc.name, "filter:levels=5/burst:wave=2,gap=32/n4x1");
+        assert_eq!(sc.automaton().registers(), 9);
+
+        let err = Scenario::builder("filter:levels=1", 4).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::Spec(SpecError::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn sched_spec_constructors_roundtrip_through_parse() {
+        for (spec, spelling) in [
+            (SchedSpec::sequential(), "sequential"),
+            (SchedSpec::round_robin(), "round-robin"),
+            (SchedSpec::random(), "random"),
+            (SchedSpec::greedy(), "greedy-adversary"),
+            (SchedSpec::burst(2, 16), "burst:wave=2,gap=16"),
+            (SchedSpec::stagger(5), "stagger:stride=5"),
+        ] {
+            assert_eq!(spec.label(), spelling);
+            assert_eq!(SchedSpec::parse(spelling).unwrap(), spec);
+            assert_eq!(spec.to_string(), spelling);
+        }
     }
 
     #[test]
     fn sequential_build_honors_the_passage_target() {
+        use exclusion_shmem::dynamic::DynRef;
         use exclusion_shmem::sched::run_scheduler;
-        let alg = AnyAlgorithm::by_name("peterson", 3).unwrap();
-        let mut sched = SchedSpec::Sequential.build(3, 2, 0);
-        let exec = run_scheduler(&alg, sched.as_mut(), 2, 1_000_000).unwrap();
+        let sc = Scenario::builder("peterson", 3)
+            .passages(2)
+            .sched(SchedSpec::sequential())
+            .build()
+            .unwrap();
+        let mut sched = sc.build_scheduler(0);
+        let exec = run_scheduler(
+            &DynRef(sc.automaton().as_ref()),
+            sched.as_mut(),
+            2,
+            1_000_000,
+        )
+        .unwrap();
         assert_eq!(exec.critical_order().len(), 6, "3 processes x 2 passages");
     }
 
     #[test]
     fn stagger_arrival_order_depends_on_seed() {
-        let spec = SchedSpec::Stagger { stride: 10 };
-        assert!(spec.is_seeded());
-        // Different seeds shuffle arrivals differently for most seeds;
-        // just check both build and are usable.
-        let mut a = spec.build(6, 1, 1);
-        let mut b = spec.build(6, 1, 2);
-        assert_eq!(a.name(), "stagger");
-        assert_eq!(b.name(), "stagger");
-        use exclusion_mutex::AnyAlgorithm;
+        use exclusion_shmem::dynamic::DynRef;
         use exclusion_shmem::sched::run_scheduler;
-        let alg = AnyAlgorithm::by_name("peterson", 6).unwrap();
-        let ea = run_scheduler(&alg, a.as_mut(), 1, 10_000_000).unwrap();
-        let eb = run_scheduler(&alg, b.as_mut(), 1, 10_000_000).unwrap();
+        let sc = Scenario::builder("peterson", 6)
+            .sched(SchedSpec::stagger(10))
+            .seeds([1, 2])
+            .build()
+            .unwrap();
+        assert!(sc.seeded());
+        assert_eq!(sc.effective_seeds().len(), 2);
+        let alg = DynRef(sc.automaton().as_ref());
+        let ea = run_scheduler(&alg, sc.build_scheduler(1).as_mut(), 1, 10_000_000).unwrap();
+        let eb = run_scheduler(&alg, sc.build_scheduler(2).as_mut(), 1, 10_000_000).unwrap();
         assert!(ea.mutual_exclusion(6));
         assert!(eb.mutual_exclusion(6));
     }

@@ -28,14 +28,11 @@ fn main() {
         "burns-lynch",
     ];
     let patterns = [
-        SchedSpec::Sequential,
-        SchedSpec::Random,
-        SchedSpec::Greedy,
-        SchedSpec::Burst {
-            wave: n.div_ceil(2).max(1),
-            gap: 2 * n,
-        },
-        SchedSpec::Stagger { stride: 2 * n },
+        SchedSpec::sequential(),
+        SchedSpec::random(),
+        SchedSpec::greedy(),
+        SchedSpec::burst(n.div_ceil(2).max(1), 2 * n),
+        SchedSpec::stagger(2 * n),
     ];
 
     let mut scenarios = Vec::new();

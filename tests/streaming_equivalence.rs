@@ -1,55 +1,66 @@
 //! Integration: the streaming cost engine is bit-identical to the
 //! replay-based pricers — totals, per-process and per-register
-//! breakdowns — for every algorithm of the suite under every scheduling
-//! policy and several seeds, and the incrementally maintained scheduler
-//! views equal a from-scratch rebuild after every step of an
-//! adversarial run.
+//! breakdowns — for every algorithm of the registry under every
+//! scheduling policy and several seeds, **through the erased-state dyn
+//! path**: the recorded leg drives the monomorphized `AnyAlgorithm`
+//! enum, the streaming leg drives the registry's `Arc<dyn DynAutomaton>`
+//! handle, so one assertion pins streaming == replay *and* dyn ==
+//! typed at once. The incrementally maintained scheduler views must
+//! also equal a from-scratch rebuild after every step of an
+//! adversarial run driven through the dyn path.
 
-use exclusion::cost::{all_costs, run_priced, CostTracker};
-use exclusion::mutex::AnyAlgorithm;
+use exclusion::cost::{all_costs, run_priced, run_priced_dyn, CostTracker};
+use exclusion::mutex::{AlgorithmRegistry, AnyAlgorithm};
 use exclusion::shmem::sched::run_scheduler;
-use exclusion::shmem::{Automaton, ProcessId, RegisterId, System, ViewTable};
-use exclusion::workload::SchedSpec;
+use exclusion::shmem::{Automaton, DynRef, ProcessId, RegisterId, System, ViewTable};
+use exclusion::workload::{SchedSpec, SchedulerRegistry};
 
 const MAX_STEPS: usize = 50_000_000;
 
 fn all_specs(n: usize) -> Vec<SchedSpec> {
     vec![
-        SchedSpec::Sequential,
-        SchedSpec::RoundRobin,
-        SchedSpec::Random,
-        SchedSpec::Greedy,
-        SchedSpec::Burst {
-            wave: n.div_ceil(2),
-            gap: 2 * n,
-        },
-        SchedSpec::Stagger { stride: 2 * n },
+        SchedSpec::sequential(),
+        SchedSpec::round_robin(),
+        SchedSpec::random(),
+        SchedSpec::greedy(),
+        SchedSpec::burst(n.div_ceil(2), 2 * n),
+        SchedSpec::stagger(2 * n),
     ]
 }
 
-/// The acceptance bar for the streaming engine: over the full
-/// `AnyAlgorithm` × `SchedSpec` grid (RMW locks included) at several
-/// seeds, `run_priced` reproduces the recorded run's replay-based
-/// SC/CC/DSM reports bit for bit — not just the totals but the
-/// per-process and per-register breakdowns.
+/// The acceptance bar for the streaming engine and the erased-state
+/// redesign: over the full registry × scheduler grid (RMW locks
+/// included) at several seeds, `run_priced_dyn` on the erased registry
+/// handle reproduces the typed, recorded run's replay-based SC/CC/DSM
+/// reports bit for bit — not just the totals but the per-process and
+/// per-register breakdowns.
 #[test]
-fn streaming_costs_match_replay_costs_on_the_full_grid() {
+fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
     let n = 4;
     let passages = 2;
-    for alg in AnyAlgorithm::full_suite(n) {
+    let algs = AlgorithmRegistry::global();
+    let scheds = SchedulerRegistry::global();
+    for name in algs.names() {
+        let typed = AnyAlgorithm::by_name(&name, n).expect("suite name");
+        let erased = algs
+            .resolve_str(&name, n)
+            .expect("registry entry")
+            .automaton;
         for spec in all_specs(n) {
-            let seeds: &[u64] = if spec.is_seeded() { &[1, 7, 42] } else { &[0] };
+            let sched = scheds.resolve(spec.spec(), n).expect("known policy");
+            let seeds: &[u64] = if sched.seeded { &[1, 7, 42] } else { &[0] };
             for &seed in seeds {
-                let label = format!("{} under {} seed {seed}", alg.name(), spec.label());
+                let label = format!("{name} under {} seed {seed}", sched.label);
 
-                let mut recording = spec.build(n, passages, seed);
-                let exec = run_scheduler(&alg, recording.as_mut(), passages, MAX_STEPS)
+                let mut recording = sched.build(passages, seed);
+                let exec = run_scheduler(&typed, recording.as_mut(), passages, MAX_STEPS)
                     .unwrap_or_else(|e| panic!("{label}: {e}"));
-                let (sc, cc, dsm) = all_costs(&alg, &exec).expect("replay");
+                let (sc, cc, dsm) = all_costs(&typed, &exec).expect("replay");
 
-                let mut streaming = spec.build(n, passages, seed);
-                let priced = run_priced(&alg, streaming.as_mut(), passages, MAX_STEPS)
-                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let mut streaming = sched.build(passages, seed);
+                let priced =
+                    run_priced_dyn(erased.as_ref(), streaming.as_mut(), passages, MAX_STEPS)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
 
                 assert_eq!(priced.steps, exec.len(), "{label}");
                 assert_eq!(priced.sc, sc, "{label}");
@@ -62,7 +73,7 @@ fn streaming_costs_match_replay_costs_on_the_full_grid() {
                     assert_eq!(priced.cc.process(p), cc.process(p), "{label} {p}");
                     assert_eq!(priced.dsm.process(p), dsm.process(p), "{label} {p}");
                 }
-                for r in RegisterId::all(alg.registers()) {
+                for r in RegisterId::all(typed.registers()) {
                     assert_eq!(priced.sc.register(r), sc.register(r), "{label} {r:?}");
                     assert_eq!(priced.cc.register(r), cc.register(r), "{label} {r:?}");
                     assert_eq!(priced.dsm.register(r), dsm.register(r), "{label} {r:?}");
@@ -72,12 +83,52 @@ fn streaming_costs_match_replay_costs_on_the_full_grid() {
     }
 }
 
+/// Parameterized registry specs run through the dyn path too: the
+/// erased `filter:levels=…` and `ttas-sim:backoff=…` variants price
+/// identically to their directly constructed typed counterparts.
+#[test]
+fn parameterized_specs_stream_identically_to_their_typed_constructions() {
+    let n = 4;
+    let passages = 2;
+    let algs = AlgorithmRegistry::global();
+    let scheds = SchedulerRegistry::global();
+    let typed_fat_filter = exclusion::mutex::Filter::with_levels(n, 6);
+    let typed_backoff = exclusion::mutex::TtasSim::with_backoff(n, 3);
+
+    for (spec, typed) in [
+        (
+            "filter:levels=6",
+            &typed_fat_filter as &dyn exclusion::shmem::DynAutomaton,
+        ),
+        ("ttas-sim:backoff=3", &typed_backoff),
+    ] {
+        let erased = algs
+            .resolve_str(spec, n)
+            .expect("parameterized spec")
+            .automaton;
+        for sched_spec in ["greedy", "random"] {
+            let sched = scheds.resolve_str(sched_spec, n).expect("policy");
+            let mut a = sched.build(passages, 9);
+            let mut b = sched.build(passages, 9);
+            let direct = run_priced(&DynRef(typed), a.as_mut(), passages, MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let resolved = run_priced_dyn(erased.as_ref(), b.as_mut(), passages, MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(direct, resolved, "{spec} under {sched_spec}");
+            assert!(direct.sc.total() > 0, "{spec}");
+        }
+    }
+}
+
 /// A tracker fed step by step agrees with the one-shot driver.
 #[test]
 fn manual_tracker_feed_matches_run_priced() {
     let alg = AnyAlgorithm::by_name("dekker-tree", 4).expect("known");
     let passages = 1;
-    let mut sched = SchedSpec::Greedy.build(4, passages, 0);
+    let sched_entry = SchedulerRegistry::global()
+        .resolve_str("greedy", 4)
+        .expect("known policy");
+    let mut sched = sched_entry.build(passages, 0);
     let mut sys = System::new(&alg);
     let mut tracker = CostTracker::new(&alg);
     let mut table = ViewTable::new(&sys, passages, sched.wants_step_previews());
@@ -92,7 +143,7 @@ fn manual_tracker_feed_matches_run_priced() {
         table.apply(&sys, passages, &done);
         tracker.observe(&done);
     }
-    let mut again = SchedSpec::Greedy.build(4, passages, 0);
+    let mut again = sched_entry.build(passages, 0);
     let priced = run_priced(&alg, again.as_mut(), passages, MAX_STEPS).expect("run");
     assert_eq!(priced.steps, tracker.steps());
     let (sc, cc, dsm) = tracker.into_reports();
@@ -100,15 +151,23 @@ fn manual_tracker_feed_matches_run_priced() {
 }
 
 /// The incremental-view regression: during a greedy-adversary run of a
-/// real tournament lock, the driver's `ViewTable` equals a from-scratch
-/// rebuild after every single step.
+/// real tournament lock **driven through the erased dyn path**, the
+/// driver's `ViewTable` equals a from-scratch rebuild after every
+/// single step.
 #[test]
-fn incremental_views_equal_fresh_views_during_adversarial_runs() {
+fn incremental_views_equal_fresh_views_during_adversarial_dyn_runs() {
     for alg_name in ["dekker-tree", "burns-lynch", "mcs-sim"] {
         let n = 5;
         let passages = 2;
-        let alg = AnyAlgorithm::by_name(alg_name, n).expect("known");
-        let mut sched = SchedSpec::Greedy.build(n, passages, 0);
+        let handle = AlgorithmRegistry::global()
+            .resolve_str(alg_name, n)
+            .expect("known")
+            .automaton;
+        let alg = DynRef(handle.as_ref());
+        let sched_entry = SchedulerRegistry::global()
+            .resolve_str("greedy", n)
+            .expect("known policy");
+        let mut sched = sched_entry.build(passages, 0);
         let previews = sched.wants_step_previews();
         let mut sys = System::new(&alg);
         let mut table = ViewTable::new(&sys, passages, previews);

@@ -114,9 +114,9 @@ fn sweeps_are_deterministic_and_reportable() {
         .into_iter()
         .flat_map(|alg| {
             [
-                SchedSpec::Greedy,
-                SchedSpec::Random,
-                SchedSpec::Stagger { stride: 8 },
+                SchedSpec::greedy(),
+                SchedSpec::random(),
+                SchedSpec::stagger(8),
             ]
             .into_iter()
             .map(move |sched| {
