@@ -1,0 +1,59 @@
+//! `bench_explore` — exact worst-case cost tables from exhaustive
+//! exploration, written to `BENCH_explore.json`.
+//!
+//! ```text
+//! bench_explore                      # full grid (n up to 4), BENCH_explore.json
+//! bench_explore --quick --out -      # n ∈ {2, 3}, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any cell fails certification, a witness
+//! cross-check fails, exploration truncates, or the planted `broken`
+//! lock goes uncaught — CI runs the `--quick` grid as the exploration
+//! smoke test.
+
+use std::process::ExitCode;
+
+use exclusion_bench::explorebench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_explore.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_explore: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_explore [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_explore: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (cells, broken) = run(quick);
+    eprint!("{}", to_text(&cells, &broken));
+    let json = to_json(&cells, &broken, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_explore: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&cells, &broken) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_explore: some cells failed certification or a cross-check");
+        ExitCode::FAILURE
+    }
+}

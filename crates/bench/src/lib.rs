@@ -5,7 +5,9 @@
 //! record+replay one and emits `BENCH_sweep.json`; the `bench_dispatch`
 //! binary (module [`dispatchbench`]) times the registry's erased-state
 //! dyn path against the monomorphized enum path and emits
-//! `BENCH_dispatch.json`.
+//! `BENCH_dispatch.json`; the `bench_explore` binary (module
+//! [`explorebench`]) computes the exact worst-case cost tables for
+//! small `n` and emits `BENCH_explore.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -17,6 +19,7 @@
 
 pub mod dispatchbench;
 pub mod experiments;
+pub mod explorebench;
 pub mod sweepbench;
 pub mod table;
 

@@ -1,0 +1,525 @@
+//! The parallel bounded-exploration core: a transposition table over
+//! canonical [`Snapshot`]s, expanded breadth-first by a work-stealing
+//! frontier sharded across `thread::scope` workers.
+//!
+//! Exploration is generic over a [`CostLens`]: a pricing rule that
+//! carries whatever extra per-node state its cost model needs (the CC
+//! model's cache-validity masks) and charges each edge as it is
+//! discovered. Memoryless models (SC, DSM) use a `()` digest, so their
+//! search space is exactly the reachable snapshot graph; the CC lens
+//! explores the product of snapshots and cache states.
+//!
+//! The table is sharded: each shard owns a hash-bucketed index and the
+//! node storage for the snapshots that hash into it, behind its own
+//! mutex, so concurrent inserts from different workers rarely contend.
+//! Workers pull chunks of the current BFS layer from a shared cursor
+//! (dynamic partitioning — a fast worker steals the work a slow one
+//! never claimed) and accumulate the next layer locally; layers are
+//! merged at a barrier, which is what makes node *depths* — and
+//! therefore every verdict derived from the graph — independent of the
+//! worker count.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use exclusion_shmem::dynamic::{DynAutomaton, DynRef, DynState};
+use exclusion_shmem::{Executed, ProcessId, Snapshot, System};
+
+use crate::ExploreConfig;
+
+/// A canonical system snapshot over erased states — the transposition
+/// key of the explorer.
+pub(crate) type Snap = Snapshot<DynState>;
+
+/// Sentinel parent id of the root node.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Frontier chunk claimed per cursor fetch.
+const CHUNK: usize = 32;
+
+/// A cost model's view of exploration: the extra state it carries per
+/// node and the price of each executed step.
+pub(crate) trait CostLens: Sync {
+    /// Cost-model state rides alongside the snapshot in the
+    /// transposition key; `()` for memoryless models.
+    type Digest: Clone + Eq + Hash + Send + Sync;
+
+    /// The digest at the initial system state of an algorithm with
+    /// `registers` registers.
+    fn initial(&self, registers: usize) -> Self::Digest;
+
+    /// Advances the digest over one executed step and returns the
+    /// step's charge.
+    fn price(&self, digest: &mut Self::Digest, done: &Executed) -> u32;
+}
+
+/// The state-change model of Definition 3.1: one unit per shared step
+/// that changes the acting process's state. Memoryless.
+pub(crate) struct ScLens;
+
+impl CostLens for ScLens {
+    type Digest = ();
+
+    fn initial(&self, _registers: usize) -> Self::Digest {}
+
+    fn price(&self, (): &mut Self::Digest, done: &Executed) -> u32 {
+        u32::from(done.state_changed && done.step.register().is_some())
+    }
+}
+
+/// The distributed-shared-memory model: one unit per access to a
+/// register whose home is not the acting process. Memoryless.
+pub(crate) struct DsmLens {
+    home: Vec<Option<ProcessId>>,
+}
+
+impl DsmLens {
+    pub(crate) fn new(alg: &dyn DynAutomaton) -> Self {
+        DsmLens {
+            home: exclusion_shmem::RegisterId::all(alg.registers())
+                .map(|r| alg.register_home(r))
+                .collect(),
+        }
+    }
+}
+
+impl CostLens for DsmLens {
+    type Digest = ();
+
+    fn initial(&self, _registers: usize) -> Self::Digest {}
+
+    fn price(&self, (): &mut Self::Digest, done: &Executed) -> u32 {
+        match done.step.register() {
+            Some(reg) => u32::from(self.home[reg.index()] != Some(done.step.pid())),
+            None => 0,
+        }
+    }
+}
+
+/// The cache-coherent model: the digest holds, per register, the set of
+/// processes with a valid cached copy (one bit per process), mirroring
+/// the replay pricer's `cached` matrix exactly.
+pub(crate) struct CcLens;
+
+impl CostLens for CcLens {
+    type Digest = Vec<u64>;
+
+    fn initial(&self, registers: usize) -> Self::Digest {
+        vec![0; registers] // nothing cached initially
+    }
+
+    fn price(&self, digest: &mut Self::Digest, done: &Executed) -> u32 {
+        use exclusion_shmem::Step;
+        match done.step {
+            Step::Read { pid, reg } => {
+                let bit = 1u64 << pid.index();
+                if digest[reg.index()] & bit == 0 {
+                    digest[reg.index()] |= bit;
+                    1
+                } else {
+                    0
+                }
+            }
+            // RMW claims the line exclusively, like a write.
+            Step::Write { pid, reg, .. } | Step::Rmw { pid, reg, .. } => {
+                digest[reg.index()] = 1u64 << pid.index();
+                1
+            }
+            Step::Crit { .. } => 0,
+        }
+    }
+}
+
+/// One explored state after the graph is flattened: snapshots and
+/// digests are dropped (they are only needed while expanding), leaving
+/// the structure every verdict is computed from.
+pub(crate) struct FlatNode {
+    /// BFS distance from the initial state (deterministic: layers are
+    /// barrier-synchronized).
+    pub depth: u32,
+    /// First discoverer ([`NO_PARENT`] for the root); parent chains are
+    /// always valid root paths.
+    pub parent: u32,
+    /// The process whose step led here from `parent`.
+    pub via: ProcessId,
+    /// Whether every process has completed the passage target.
+    pub goal: bool,
+    /// Whether two processes are simultaneously in the critical section.
+    pub violating: bool,
+    /// Outgoing edges `(pid, target, cost)`, one per live process, in
+    /// pid order. Empty for goal nodes — and for frontier nodes left
+    /// unexpanded by a truncation or an early violation stop, which is
+    /// why the progress analyses only run on untruncated graphs.
+    pub succs: Vec<(ProcessId, u32, u32)>,
+}
+
+/// The flattened bounded reachability graph (product graph, for lenses
+/// with a non-trivial digest).
+pub(crate) struct BuiltGraph {
+    pub nodes: Vec<FlatNode>,
+    pub root: u32,
+    pub edges: usize,
+    /// Deepest BFS layer that holds a node.
+    pub depth: u32,
+    /// Whether `max_states`/`max_depth` cut exploration short (absence
+    /// of a violation is then not a proof).
+    pub truncated: bool,
+    /// Violating nodes discovered in the first layer that has any.
+    pub violations: Vec<u32>,
+}
+
+/// Which nodes can reach a goal node — backward reachability over
+/// predecessor lists. Shared by the progress (deadlock/livelock)
+/// classification and the worst-case search, so the two engines cannot
+/// diverge on what "can still complete" means.
+pub(crate) fn live_set(graph: &BuiltGraph) -> Vec<bool> {
+    let n = graph.nodes.len();
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, node) in graph.nodes.iter().enumerate() {
+        for &(_, t, _) in &node.succs {
+            preds[t as usize].push(u as u32);
+        }
+    }
+    let mut live = vec![false; n];
+    let mut work: Vec<u32> = (0..n as u32)
+        .filter(|&u| graph.nodes[u as usize].goal)
+        .collect();
+    for &u in &work {
+        live[u as usize] = true;
+    }
+    while let Some(u) = work.pop() {
+        for &p in &preds[u as usize] {
+            if !live[p as usize] {
+                live[p as usize] = true;
+                work.push(p);
+            }
+        }
+    }
+    live
+}
+
+impl BuiltGraph {
+    /// The schedule (pid sequence) of the parent chain from the root to
+    /// `id` — always a valid executable schedule.
+    pub(crate) fn schedule_to(&self, id: u32) -> Vec<ProcessId> {
+        let mut out = Vec::new();
+        let mut at = id;
+        while self.nodes[at as usize].parent != NO_PARENT {
+            out.push(self.nodes[at as usize].via);
+            at = self.nodes[at as usize].parent;
+        }
+        out.reverse();
+        out
+    }
+}
+
+struct Shard<D> {
+    /// 64-bit snapshot hash → node indices *within this shard* that
+    /// carry it (collisions resolved by full snapshot equality).
+    map: HashMap<u64, Vec<u32>>,
+    nodes: Vec<BuildNode<D>>,
+}
+
+struct BuildNode<D> {
+    snap: Snap,
+    digest: D,
+    flat: FlatNode,
+}
+
+struct Table<D> {
+    shards: Vec<Mutex<Shard<D>>>,
+    shard_bits: u32,
+    count: AtomicUsize,
+}
+
+impl<D: Eq> Table<D> {
+    fn new(shard_count: usize) -> Self {
+        Table {
+            shards: (0..shard_count)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        nodes: Vec::new(),
+                    })
+                })
+                .collect(),
+            shard_bits: shard_count.trailing_zeros(),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    fn mask(&self) -> u64 {
+        (self.shards.len() - 1) as u64
+    }
+
+    /// Interns `(snap, digest)`, returning its id and whether it was
+    /// new. Ids pack the shard into the low bits so they can be decoded
+    /// without a lookup. The key is only cloned into the table when it
+    /// is actually new — revisits (the common case: every state is
+    /// rediscovered once per predecessor) allocate nothing.
+    fn insert(&self, snap: &Snap, digest: &D, meta: FlatNode) -> (u32, bool)
+    where
+        D: Hash + Clone,
+    {
+        let mut h = DefaultHasher::new();
+        snap.hash(&mut h);
+        digest.hash(&mut h);
+        let hv = h.finish();
+        let s = (hv & self.mask()) as usize;
+        let mut guard = self.shards[s].lock().expect("shard poisoned");
+        let Shard { map, nodes } = &mut *guard;
+        if let Some(ids) = map.get(&hv) {
+            for &id in ids {
+                let idx = (id >> self.shard_bits) as usize;
+                if nodes[idx].snap == *snap && nodes[idx].digest == *digest {
+                    return (id, false);
+                }
+            }
+        }
+        let idx = nodes.len() as u32;
+        let id = (idx << self.shard_bits) | s as u32;
+        nodes.push(BuildNode {
+            snap: snap.clone(),
+            digest: digest.clone(),
+            flat: meta,
+        });
+        map.entry(hv).or_default().push(id);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        (id, true)
+    }
+
+    fn set_succs(&self, id: u32, succs: Vec<(ProcessId, u32, u32)>) {
+        let s = (id & self.mask() as u32) as usize;
+        let idx = (id >> self.shard_bits) as usize;
+        let mut guard = self.shards[s].lock().expect("shard poisoned");
+        guard.nodes[idx].flat.succs = succs;
+    }
+
+    /// Flattens the sharded storage into one dense node vector,
+    /// remapping every id (shard-packed → dense) arithmetically.
+    fn flatten(self, root: u32, violations: Vec<u32>) -> (Vec<FlatNode>, u32, Vec<u32>, usize) {
+        let bits = self.shard_bits;
+        let mask = self.mask() as u32;
+        let mut offsets = Vec::with_capacity(self.shards.len());
+        let mut total = 0u32;
+        let inners: Vec<Shard<D>> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard poisoned"))
+            .collect();
+        for shard in &inners {
+            offsets.push(total);
+            total += shard.nodes.len() as u32;
+        }
+        let remap = |id: u32| offsets[(id & mask) as usize] + (id >> bits);
+        let mut nodes = Vec::with_capacity(total as usize);
+        let mut edges = 0usize;
+        for shard in inners {
+            for node in shard.nodes {
+                let mut flat = node.flat;
+                if flat.parent != NO_PARENT {
+                    flat.parent = remap(flat.parent);
+                }
+                for (_, target, _) in &mut flat.succs {
+                    *target = remap(*target);
+                }
+                edges += flat.succs.len();
+                nodes.push(flat);
+            }
+        }
+        (
+            nodes,
+            remap(root),
+            violations.into_iter().map(remap).collect(),
+            edges,
+        )
+    }
+}
+
+fn resolved_workers(cfg: &ExploreConfig) -> usize {
+    if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        cfg.workers
+    }
+}
+
+/// Explores the bounded state space of `alg` under `lens` and returns
+/// the flattened graph. When `stop_on_violation` is set, exploration
+/// halts after the first BFS layer containing a mutual exclusion
+/// violation — the layer itself is always completed, so state/edge
+/// counts and depths stay worker-count independent, and every recorded
+/// violation is at minimal depth; deeper layers are not explored (the
+/// graph is partial, which is why the progress analyses only run on
+/// violation-free graphs).
+pub(crate) fn build<L: CostLens>(
+    alg: &(dyn DynAutomaton + Sync),
+    lens: &L,
+    cfg: &ExploreConfig,
+    stop_on_violation: bool,
+) -> BuiltGraph {
+    assert!(cfg.passages >= 1, "exploration needs a passage target");
+    let n = alg.processes();
+    assert!(n <= 64, "the explorer supports at most 64 processes");
+    let workers = resolved_workers(cfg);
+    // Node ids pack the shard into their low bits, so the per-shard
+    // index budget shrinks with the shard count; trade contention for
+    // headroom when the state cap is huge.
+    let mut shard_count = (workers * 8).next_power_of_two().clamp(16, 1024);
+    while shard_count > 16 && cfg.max_states >= (u32::MAX as usize) >> shard_count.trailing_zeros()
+    {
+        shard_count /= 2;
+    }
+    assert!(
+        cfg.max_states < (u32::MAX as usize) >> shard_count.trailing_zeros(),
+        "max_states too large for 32-bit node ids"
+    );
+    let table: Table<L::Digest> = Table::new(shard_count);
+    let truncated = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let violations: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    let dref = DynRef(alg);
+    let root_sys = System::new(&dref);
+    let root_snap = root_sys.snapshot();
+    let root_digest = lens.initial(alg.registers());
+    let root_goal = root_snap.passages().iter().all(|&p| p >= cfg.passages);
+    let (root, _) = table.insert(
+        &root_snap,
+        &root_digest,
+        FlatNode {
+            depth: 0,
+            parent: NO_PARENT,
+            via: ProcessId::new(0),
+            goal: root_goal,
+            violating: false,
+            succs: Vec::new(),
+        },
+    );
+
+    let mut frontier: Vec<(u32, Snap, L::Digest)> = vec![(root, root_snap, root_digest)];
+    let mut depth = 0u32;
+    loop {
+        if frontier.is_empty() || stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if cfg.max_depth.is_some_and(|d| depth as usize >= d) {
+            let cut = frontier
+                .iter()
+                .any(|(_, snap, _)| snap.passages().iter().any(|&p| p < cfg.passages));
+            if cut {
+                truncated.store(true, Ordering::Relaxed);
+            }
+            break;
+        }
+        let cursor = AtomicUsize::new(0);
+        let layer = &frontier;
+        let mut next: Vec<(u32, Snap, L::Digest)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(layer.len().div_ceil(CHUNK)).max(1))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let dref = DynRef(alg);
+                        let mut local = Vec::new();
+                        'pull: loop {
+                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= layer.len() || stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            for (id, snap, digest) in
+                                &layer[start..(start + CHUNK).min(layer.len())]
+                            {
+                                if stop.load(Ordering::Relaxed) {
+                                    break 'pull;
+                                }
+                                if snap.passages().iter().all(|&p| p >= cfg.passages) {
+                                    continue; // goal: nothing to expand
+                                }
+                                let base = System::from_snapshot(&dref, snap);
+                                let mut succs = Vec::new();
+                                for p in ProcessId::all(n) {
+                                    if snap.passages()[p.index()] >= cfg.passages {
+                                        continue;
+                                    }
+                                    let mut sys = base.clone();
+                                    let done = sys.step(p);
+                                    let mut d2 = digest.clone();
+                                    let cost = lens.price(&mut d2, &done);
+                                    let snap2 = sys.snapshot();
+                                    let goal = snap2.passages().iter().all(|&q| q >= cfg.passages);
+                                    let violating = snap2.in_critical().nth(1).is_some();
+                                    let (tid, fresh) = table.insert(
+                                        &snap2,
+                                        &d2,
+                                        FlatNode {
+                                            depth: depth + 1,
+                                            parent: *id,
+                                            via: p,
+                                            goal,
+                                            violating,
+                                            succs: Vec::new(),
+                                        },
+                                    );
+                                    succs.push((p, tid, cost));
+                                    if fresh {
+                                        if violating {
+                                            // Record it but *complete the layer*:
+                                            // the set of interned states stays
+                                            // worker-count independent, and every
+                                            // violation in the layer is at the
+                                            // same (minimal) depth. The layer
+                                            // loop below halts before the next
+                                            // layer.
+                                            violations
+                                                .lock()
+                                                .expect("violations poisoned")
+                                                .push(tid);
+                                        }
+                                        if table.count.load(Ordering::Relaxed) > cfg.max_states {
+                                            truncated.store(true, Ordering::Relaxed);
+                                            stop.store(true, Ordering::Relaxed);
+                                        }
+                                        local.push((tid, snap2, d2));
+                                    }
+                                }
+                                table.set_succs(*id, succs);
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                next.append(&mut h.join().expect("explorer worker panicked"));
+            }
+        });
+        // A truncation stop aborts mid-layer, so the partially merged
+        // layer does not count as a depth; a completed layer does.
+        if !next.is_empty() && !stop.load(Ordering::Relaxed) {
+            depth += 1;
+        }
+        if stop_on_violation && !violations.lock().expect("violations poisoned").is_empty() {
+            break;
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    let states = table.count.load(Ordering::Relaxed);
+    let violations = violations.into_inner().expect("violations poisoned");
+    let (nodes, root, violations, edges) = table.flatten(root, violations);
+    debug_assert_eq!(nodes.len(), states);
+    BuiltGraph {
+        nodes,
+        root,
+        edges,
+        depth,
+        truncated: truncated.into_inner(),
+        violations,
+    }
+}

@@ -1,0 +1,417 @@
+//! Bounded exhaustive state-space exploration over the erased-state
+//! automaton core: certified safety verdicts and exact worst-case cost
+//! tables.
+//!
+//! Every run the scenario engine prices comes from a *sampled*
+//! scheduler — greedy, random, burst — so a sweep can only ever exhibit
+//! a lower bound on what the worst adversary extracts, and can never
+//! *prove* safety. This crate closes both gaps for bounded instances:
+//!
+//! * [`explore`] visits **every** reachable state of an algorithm in
+//!   which each process performs at most a bounded number of passages,
+//!   and returns an [`ExploreReport`]: mutual exclusion either
+//!   *certified* (the whole space holds it) or *refuted* with a
+//!   minimal-length [`Counterexample`] that replays through the
+//!   ordinary replay machinery, plus a deadlock/livelock
+//!   classification ([`Hazard`]) from backward reachability;
+//! * [`worst_case`] computes the **exact** worst-case cost — the
+//!   supremum over every completing schedule — under the SC, CC or DSM
+//!   model ([`Model`]), as a longest-path computation over the product
+//!   of system snapshots and cost-model state, with the greedy
+//!   adversary's cost as the incumbent it must dominate. Algorithms
+//!   whose busy-waits are chargeable forever (remote spins under SC,
+//!   any remote access under DSM) are reported
+//!   [`Unbounded`](WorstCost::Unbounded) with a replayable pump cycle —
+//!   exactly the local-spin/remote-spin distinction the paper's
+//!   related-work section draws.
+//!
+//! Exploration itself is a parallel breadth-first search over canonical
+//! [`Snapshot`](exclusion_shmem::Snapshot)s of the erased
+//! [`DynAutomaton`](exclusion_shmem::DynAutomaton) core, deduplicated
+//! in a sharded transposition table
+//! and fanned out across `thread::scope` workers pulling from a shared
+//! work-stealing frontier. For every exploration that is not truncated
+//! by `max_states`, the verdicts, state counts, depths and exact costs
+//! are independent of the worker count (the layer barrier makes BFS
+//! depths deterministic, and a violation halt still completes its
+//! layer); truncated runs stop mid-layer at a racy point, so only
+//! their `truncated` flag is meaningful. The *spelling* of a witness
+//! schedule may differ between parallel runs — first-discoverer races
+//! pick among equally short parent chains — but every witness it
+//! returns replays.
+//!
+//! # Example
+//!
+//! Certify the registry's tournament lock and catch a broken one:
+//!
+//! ```
+//! use exclusion_explore::{conformance_registry, explore, ExploreConfig};
+//!
+//! let reg = conformance_registry();
+//! let cfg = ExploreConfig::default();
+//!
+//! let dekker = reg.resolve_str("dekker-tree", 2).unwrap().automaton;
+//! assert!(explore(dekker.as_ref(), &cfg).certified_deadlock_free());
+//!
+//! let broken = reg.resolve_str("broken", 2).unwrap().automaton;
+//! let report = explore(broken.as_ref(), &cfg);
+//! let witness = report.violation.expect("the race must be found");
+//! assert!(!witness.trace.mutual_exclusion(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod report;
+pub mod verdict;
+pub mod worst;
+
+use std::fmt;
+use std::sync::Arc;
+
+use exclusion_mutex::broken::RacyBool;
+use exclusion_mutex::registry::{AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry};
+
+pub use verdict::{explore, Counterexample, ExploreReport, Hazard, HazardKind};
+pub use worst::{price_schedule, worst_case, WorstCaseReport, WorstCost};
+
+/// Which cost model a worst-case search maximizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Model {
+    /// State-change cost (Definition 3.1) — the paper's model.
+    Sc,
+    /// Cache-coherent cost: remote memory references under
+    /// write-invalidation.
+    Cc,
+    /// Distributed-shared-memory cost: accesses to registers homed
+    /// elsewhere.
+    Dsm,
+}
+
+impl Model {
+    /// All models, in report order.
+    pub const ALL: [Model; 3] = [Model::Sc, Model::Cc, Model::Dsm];
+
+    /// The CLI spelling (`"sc"`, `"cc"`, `"dsm"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Sc => "sc",
+            Model::Cc => "cc",
+            Model::Dsm => "dsm",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Model> {
+        match s {
+            "sc" => Some(Model::Sc),
+            "cc" => Some(Model::Cc),
+            "dsm" => Some(Model::Dsm),
+            _ => None,
+        }
+    }
+
+    /// This model's total from a priced run — the one place that maps a
+    /// [`Model`] onto `exclusion-cost`'s per-model reports.
+    #[must_use]
+    pub fn total_of(self, priced: &exclusion_cost::PricedRun) -> usize {
+        match self {
+            Model::Sc => priced.sc.total(),
+            Model::Cc => priced.cc.total(),
+            Model::Dsm => priced.dsm.total(),
+        }
+    }
+
+    /// This model's running total from a streaming tracker.
+    #[must_use]
+    pub fn tracker_total(self, tracker: &exclusion_cost::CostTracker) -> usize {
+        match self {
+            Model::Sc => tracker.sc().total(),
+            Model::Cc => tracker.cc().total(),
+            Model::Dsm => tracker.dsm().total(),
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bounds and resources for one exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExploreConfig {
+    /// Each process performs at most this many passages (≥ 1).
+    pub passages: usize,
+    /// Abort (reporting truncation) after interning this many states.
+    pub max_states: usize,
+    /// Optional BFS depth bound; `None` explores to exhaustion.
+    pub max_depth: Option<usize>,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Step budget for the greedy-incumbent run of [`worst_case`].
+    pub max_steps: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            passages: 1,
+            max_states: 2_000_000,
+            max_depth: None,
+            workers: 0,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// Certifies safety/progress **and** computes the exact worst case in
+/// one call, sharing work where the two overlap: the SC model is
+/// memoryless, so its worst-case search runs on the very same bounded
+/// graph the safety verdicts come from — one exploration instead of
+/// two. For CC/DSM the product graph differs and is built separately.
+///
+/// The worst-case search is skipped (`None`) when a mutual exclusion
+/// violation was found — a supremum over runs of a broken lock is not
+/// meaningful — or when the safety exploration was truncated.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_explore::{analyze, ExploreConfig, Model};
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let (report, worst) = analyze(&Alternator::new(2), Model::Sc, &ExploreConfig::default());
+/// assert!(report.certified_deadlock_free());
+/// assert_eq!(worst.unwrap().cost.exact(), Some(4));
+/// ```
+#[must_use]
+pub fn analyze(
+    alg: &(dyn exclusion_shmem::DynAutomaton + Sync),
+    model: Model,
+    cfg: &ExploreConfig,
+) -> (ExploreReport, Option<WorstCaseReport>) {
+    if model == Model::Sc {
+        // One graph serves both: build without the violation halt so
+        // the worst-case search sees the complete bounded space. The
+        // backward-reachability live set is shared the same way.
+        let g = graph::build(alg, &graph::ScLens, cfg, false);
+        let live = (!g.truncated && g.violations.is_empty()).then(|| graph::live_set(&g));
+        let report = verdict::report_from_graph(alg, &g, cfg, live.as_deref());
+        let worst = (report.violation.is_none() && !report.truncated)
+            .then(|| worst::worst_from_graph(alg, &g, Model::Sc, cfg, live.as_deref()));
+        (report, worst)
+    } else {
+        let report = explore(alg, cfg);
+        let worst =
+            (report.violation.is_none() && !report.truncated).then(|| worst_case(alg, model, cfg));
+        (report, worst)
+    }
+}
+
+/// The registry the conformance suite (and the CLI's `explore`
+/// subcommand) runs against: the full standard suite **plus** the
+/// deliberately unsafe `broken` entry (the classic non-atomic
+/// test-and-set race), so the explorer's ability to *catch* a bad lock
+/// is exercised through exactly the same registry-driven path that
+/// certifies the good ones.
+#[must_use]
+pub fn conformance_registry() -> AlgorithmRegistry {
+    let mut reg = AlgorithmRegistry::standard();
+    reg.register(AlgorithmEntry::new(
+        AlgorithmInfo {
+            name: "broken".into(),
+            aliases: vec!["racy-bool".into()],
+            summary: "deliberately unsafe non-atomic test-and-set (failure injection)".into(),
+            min_n: 2,
+            uses_rmw: false,
+            cost_class: "unsafe".into(),
+            params: vec![],
+        },
+        |spec, n| {
+            spec.expect_params(&[], false)?;
+            Ok(Arc::new(RacyBool::new(n)))
+        },
+    ));
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::dynamic::DynRef;
+    use exclusion_shmem::replay;
+    use exclusion_shmem::sched::Script;
+    use exclusion_shmem::testing::{Alternator, NoLock};
+
+    #[test]
+    fn alternator_is_certified_safe_and_deadlock_free() {
+        for workers in [1, 4] {
+            let cfg = ExploreConfig {
+                passages: 2,
+                workers,
+                ..ExploreConfig::default()
+            };
+            let report = explore(&Alternator::new(3), &cfg);
+            assert!(report.certified_safe());
+            assert!(report.certified_deadlock_free());
+            assert!(report.states > 10);
+            assert!(report.edges >= report.states - 1);
+            assert_eq!(report.n, 3);
+        }
+    }
+
+    #[test]
+    fn verdicts_are_independent_of_worker_count() {
+        let base = ExploreConfig::default();
+        let one = explore(&Alternator::new(3), &ExploreConfig { workers: 1, ..base });
+        let many = explore(&Alternator::new(3), &ExploreConfig { workers: 8, ..base });
+        assert_eq!(one.states, many.states);
+        assert_eq!(one.edges, many.edges);
+        assert_eq!(one.depth, many.depth);
+        assert_eq!(one.violation, many.violation);
+        assert_eq!(one.hazard, many.hazard);
+    }
+
+    #[test]
+    fn no_lock_violation_replays_and_is_minimal() {
+        let alg = NoLock::new(2);
+        let report = explore(&alg, &ExploreConfig::default());
+        let cex = report.violation.expect("NoLock is unsafe");
+        // Minimal: try,enter for each of two processes = 4 steps.
+        assert_eq!(cex.schedule.len(), 4);
+        assert_ne!(cex.culprits.0, cex.culprits.1);
+        let sys = replay(&alg, cex.trace.steps(), |_| {}).expect("witness replays");
+        assert_eq!(sys.in_critical().count(), 2);
+    }
+
+    #[test]
+    fn truncated_exploration_certifies_nothing() {
+        let report = explore(
+            &Alternator::new(3),
+            &ExploreConfig {
+                max_states: 4,
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(report.truncated);
+        assert!(!report.certified_safe());
+        assert!(report.violation.is_none());
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let report = explore(
+            &Alternator::new(2),
+            &ExploreConfig {
+                max_depth: Some(3),
+                ..ExploreConfig::default()
+            },
+        );
+        assert!(report.truncated);
+        assert!(report.depth <= 3);
+    }
+
+    /// The Alternator's exact SC worst case is computable by hand:
+    /// every process pays one successful read of `turn` plus one
+    /// hand-over write per passage, spins are free, and no positive
+    /// cycle exists (a spinning process re-reads an unchanged register
+    /// without changing state).
+    #[test]
+    fn alternator_sc_worst_case_is_exact_and_witnessed() {
+        let alg = Alternator::new(3);
+        let report = worst_case(&alg, Model::Sc, &ExploreConfig::default());
+        let WorstCost::Exact { cost, ref schedule } = report.cost else {
+            panic!(
+                "alternator must have a finite SC worst case: {:?}",
+                report.cost
+            );
+        };
+        assert_eq!(cost, 6, "2 charged shared steps per process per passage");
+        assert!(cost >= report.incumbent);
+        // The witness replays to exactly the optimum through the
+        // streaming pricer.
+        let priced = exclusion_cost::run_priced(
+            &DynRef(&alg),
+            &mut Script::new(schedule.clone()),
+            1,
+            schedule.len() + 1,
+        )
+        .expect("witness schedule runs");
+        assert_eq!(priced.sc.total(), cost);
+        assert_eq!(priced.steps, schedule.len());
+    }
+
+    /// A two-register spin that bounces between states is chargeable
+    /// forever under SC: the worst case is unbounded, witnessed by a
+    /// pump cycle that adds the same positive charge on every lap.
+    #[test]
+    fn state_bouncing_spins_are_unbounded_under_sc() {
+        use exclusion_mutex::Peterson;
+        let alg = Peterson::new(2);
+        let report = worst_case(&alg, Model::Sc, &ExploreConfig::default());
+        let WorstCost::Unbounded {
+            ref prefix,
+            ref cycle,
+        } = report.cost
+        else {
+            panic!("peterson's remote spin must be pumpable: {:?}", report.cost);
+        };
+        assert!(!cycle.is_empty());
+        // Pump it: k extra laps cost strictly more than k-1.
+        let price = |laps: usize| {
+            let mut picks = prefix.clone();
+            for _ in 0..laps {
+                picks.extend_from_slice(cycle);
+            }
+            price_schedule(&alg, Model::Sc, &picks)
+        };
+        let (one, two, three) = (price(1), price(2), price(3));
+        assert!(two > one && three > two, "{one} {two} {three}");
+        assert_eq!(three + one, 2 * two, "each lap adds the same charge");
+    }
+
+    #[test]
+    fn analyze_matches_the_two_separate_passes() {
+        let alg = Alternator::new(3);
+        let cfg = ExploreConfig::default();
+        for model in Model::ALL {
+            let (report, worst) = analyze(&alg, model, &cfg);
+            assert_eq!(report, explore(&alg, &cfg), "{model}");
+            let separate = worst_case(&alg, model, &cfg);
+            let combined = worst.expect("safe algorithm gets a worst case");
+            assert_eq!(combined.cost.exact(), separate.cost.exact(), "{model}");
+            assert_eq!(combined.incumbent, separate.incumbent, "{model}");
+            assert_eq!(combined.nodes, separate.nodes, "{model}");
+        }
+        // A violation suppresses the worst-case search.
+        let (report, worst) = analyze(&NoLock::new(2), Model::Sc, &cfg);
+        assert!(report.violation.is_some());
+        assert!(worst.is_none());
+    }
+
+    #[test]
+    fn conformance_registry_adds_broken_without_touching_the_suite() {
+        let reg = conformance_registry();
+        assert_eq!(reg.names().len(), 12);
+        assert!(reg.get("broken").is_some());
+        assert!(reg.get("racy-bool").is_some(), "alias resolves");
+        let broken = reg.resolve_str("broken", 2).unwrap();
+        assert_eq!(broken.automaton.name(), "racy-bool");
+        // min_n floor: the race needs two processes.
+        assert!(reg.resolve_str("broken", 1).is_err());
+    }
+
+    #[test]
+    fn model_spellings_roundtrip() {
+        for m in Model::ALL {
+            assert_eq!(Model::parse(m.name()), Some(m));
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert_eq!(Model::parse("mesi"), None);
+    }
+}

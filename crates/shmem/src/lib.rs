@@ -72,4 +72,4 @@ pub use replay::{replay, replay_collect, StepOutcome};
 pub use sched::{ProcessView, SchedContext, Scheduler, ViewTable};
 pub use spec::{ParamInfo, Spec, SpecError};
 pub use step::{CritKind, Step, StepType};
-pub use system::{Executed, Section, System};
+pub use system::{Executed, Section, Snapshot, System};

@@ -21,7 +21,9 @@
 //! * [`GreedyAdversary`] — cost-maximizing: always schedules a process
 //!   whose pending shared step would be charged under SC;
 //! * [`Burst`] — phased arrival: processes join in waves;
-//! * [`Stagger`] — per-process enable times.
+//! * [`Stagger`] — per-process enable times;
+//! * [`Script`] — replays a fixed pick sequence (e.g. an exact
+//!   worst-case witness schedule) and stops.
 //!
 //! # Fairness obligations for implementors
 //!
@@ -635,6 +637,58 @@ impl Scheduler for GreedyAdversary {
     }
 }
 
+/// Replays a fixed process sequence, one pick per step, then stops —
+/// the bridge from an explicitly chosen schedule (e.g. the witness of
+/// `exclusion-explore`'s exact worst-case search) back into every
+/// generic driver, including the streaming pricer `run_priced`.
+///
+/// The script is indexed by the driver's step clock, so a reused
+/// `Script` deterministically replays from the top on every run. The
+/// script must only name live processes at each point; a script that
+/// picks a finished process trips the driver's debug assertion, exactly
+/// like any other misbehaving scheduler.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::sched::{run_scheduler, Script};
+/// use exclusion_shmem::ProcessId;
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(1);
+/// let p0 = ProcessId::new(0);
+/// let exec = run_scheduler(&alg, &mut Script::new(vec![p0; 6]), 1, 100).unwrap();
+/// assert_eq!(exec.len(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Script {
+    picks: Vec<ProcessId>,
+}
+
+impl Script {
+    /// A scheduler replaying exactly `picks`, in order.
+    #[must_use]
+    pub fn new(picks: Vec<ProcessId>) -> Self {
+        Script { picks }
+    }
+
+    /// The scripted picks.
+    #[must_use]
+    pub fn picks(&self) -> &[ProcessId] {
+        &self.picks
+    }
+}
+
+impl Scheduler for Script {
+    fn name(&self) -> String {
+        format!("script({} picks)", self.picks.len())
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        self.picks.get(ctx.step).copied()
+    }
+}
+
 /// Round-robin among the processes enabled at the current arrival clock;
 /// when none of the live processes has arrived yet, the earliest arrival
 /// is scheduled (the clock jumps to it).
@@ -1044,6 +1098,20 @@ mod tests {
         let a = run_scheduler(&alg, &mut greedy, 2, 100_000).unwrap();
         let b = run_scheduler(&alg, &mut greedy, 2, 100_000).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn script_replays_a_recorded_schedule_exactly() {
+        let alg = Alternator::new(3);
+        let exec = run_scheduler(&alg, &mut GreedyAdversary::new(), 2, 100_000).unwrap();
+        let picks: Vec<_> = exec.steps().iter().map(|s| s.pid()).collect();
+        let mut script = Script::new(picks.clone());
+        let replayed = run_scheduler(&alg, &mut script, 2, 100_000).unwrap();
+        assert_eq!(replayed, exec);
+        assert_eq!(script.picks(), &picks[..]);
+        // Reuse replays from the top (picks index on the step clock).
+        let again = run_scheduler(&alg, &mut script, 2, 100_000).unwrap();
+        assert_eq!(again, exec);
     }
 
     #[test]

@@ -52,6 +52,81 @@ impl fmt::Display for Section {
     }
 }
 
+/// A canonical, hashable image of a [`System`]'s complete state: every
+/// process state, every register value, every section, every passage
+/// count.
+///
+/// Two snapshots of the same algorithm compare equal exactly when the
+/// systems they were taken from would behave identically from that
+/// point on — which is what makes a snapshot usable as a transposition
+/// key in exhaustive state-space exploration (`exclusion-explore`).
+/// `Hash` mirrors `Eq`, including through erased
+/// [`DynState`](crate::dynamic::DynState)s, whose hashing forwards to
+/// the typed state's `Hash` impl (boxed) or to the packed words
+/// (inline).
+///
+/// Snapshots round-trip bit-identically:
+/// [`System::from_snapshot`] followed by [`System::snapshot`]
+/// reproduces the original (pinned by property tests).
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::{ProcessId, System};
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(2);
+/// let mut sys = System::new(&alg);
+/// let before = sys.snapshot();
+/// sys.step(ProcessId::new(0));
+/// assert_ne!(sys.snapshot(), before);
+/// // Restore and re-snapshot: bit-identical.
+/// let restored = System::from_snapshot(&alg, &before);
+/// assert_eq!(restored.snapshot(), before);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Snapshot<S> {
+    states: Vec<S>,
+    regs: Vec<Value>,
+    sections: Vec<Section>,
+    passages: Vec<usize>,
+}
+
+impl<S> Snapshot<S> {
+    /// Per-process states, indexed by process.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Register values, indexed by register.
+    #[must_use]
+    pub fn registers(&self) -> &[Value] {
+        &self.regs
+    }
+
+    /// Per-process sections, indexed by process.
+    #[must_use]
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Per-process completed passage counts, indexed by process.
+    #[must_use]
+    pub fn passages(&self) -> &[usize] {
+        &self.passages
+    }
+
+    /// Processes currently in their critical section.
+    pub fn in_critical(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.sections
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Section::Critical)
+            .map(|(i, _)| ProcessId::new(i))
+    }
+}
+
 /// The outcome of executing one step on a [`System`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Executed {
@@ -107,6 +182,50 @@ impl<'a, A: Automaton> System<'a, A> {
             regs,
             sections: vec![Section::Remainder; n],
             passages: vec![0; n],
+        }
+    }
+
+    /// Reconstructs the system a [`Snapshot`] was taken from.
+    ///
+    /// The algorithm must be the one (or an identically configured
+    /// instance of the one) that produced the snapshot; restoring a
+    /// snapshot into a different algorithm is out of contract, exactly
+    /// like feeding a foreign state to an erased automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's dimensions do not match the algorithm's
+    /// process and register counts.
+    #[must_use]
+    pub fn from_snapshot(alg: &'a A, snap: &Snapshot<A::State>) -> Self {
+        assert_eq!(
+            snap.states.len(),
+            alg.processes(),
+            "snapshot process count does not match the algorithm"
+        );
+        assert_eq!(
+            snap.regs.len(),
+            alg.registers(),
+            "snapshot register count does not match the algorithm"
+        );
+        System {
+            alg,
+            states: snap.states.clone(),
+            regs: snap.regs.clone(),
+            sections: snap.sections.clone(),
+            passages: snap.passages.clone(),
+        }
+    }
+
+    /// Captures the complete current state as a canonical, hashable
+    /// [`Snapshot`] — the transposition key of exhaustive exploration.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot<A::State> {
+        Snapshot {
+            states: self.states.clone(),
+            regs: self.regs.clone(),
+            sections: self.sections.clone(),
+            passages: self.passages.clone(),
         }
     }
 
@@ -408,6 +527,45 @@ mod tests {
             .execute_expected(Step::crit(ghost, CritKind::Try))
             .unwrap_err();
         assert!(matches!(err, ReplayError::InvalidProcess { .. }));
+    }
+
+    #[test]
+    fn snapshots_roundtrip_and_key_on_full_state() {
+        let alg = Alternator::new(3);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        let s0 = sys.snapshot();
+        assert_eq!(
+            s0,
+            System::new(&alg).snapshot(),
+            "initial state is canonical"
+        );
+        // Drive p0 into its critical section and snapshot there.
+        sys.step(p0); // try
+        sys.step(p0); // read turn = 0
+        sys.step(p0); // enter
+        let mid = sys.snapshot();
+        assert_eq!(mid.in_critical().collect::<Vec<_>>(), vec![p0]);
+        assert_eq!(mid.sections()[0], Section::Critical);
+        assert_eq!(mid.passages(), &[0, 0, 0]);
+        // Restore → re-snapshot is bit-identical, and the restored
+        // system continues exactly like the original.
+        let mut restored = System::from_snapshot(&alg, &mid);
+        assert_eq!(restored.snapshot(), mid);
+        let a = sys.step(p0);
+        let b = restored.step(p0);
+        assert_eq!(a, b);
+        assert_eq!(sys.snapshot(), restored.snapshot());
+        assert_ne!(sys.snapshot(), mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot process count")]
+    fn foreign_snapshots_are_rejected() {
+        let small = Alternator::new(2);
+        let big = Alternator::new(3);
+        let snap = System::new(&big).snapshot();
+        let _ = System::from_snapshot(&small, &snap);
     }
 
     #[test]

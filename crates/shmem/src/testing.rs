@@ -8,6 +8,44 @@ use crate::automaton::{Automaton, NextStep, Observation};
 use crate::ids::{ProcessId, RegisterId, Value};
 use crate::step::CritKind;
 
+/// The canonical small-`n` fixture grid shared by the cross-crate
+/// equivalence and conformance suites (`tests/streaming_equivalence.rs`,
+/// `tests/safety_conformance.rs`, `tests/exhaustive_bounds.rs`, …), so
+/// every suite exercises the same algorithm × scheduler × seed
+/// combinations instead of each maintaining a drifting private copy.
+///
+/// Algorithms and schedulers are named by their registry spec spellings
+/// (this crate sits below the registries, so the grid is strings by
+/// design — each suite resolves them against the registry it tests).
+pub mod fixtures {
+    /// Process counts the exhaustive small-`n` suites certify at.
+    pub const SMALL_NS: &[usize] = &[2, 3];
+
+    /// The seed grid shared by every seeded-scheduler sweep.
+    pub const SEEDS: &[u64] = &[1, 7, 42];
+
+    /// Passage target the small-`n` grids drive every process to.
+    pub const PASSAGES: usize = 2;
+
+    /// Step budget generous enough for every grid combination.
+    pub const MAX_STEPS: usize = 50_000_000;
+
+    /// Canonical spec spellings of the scheduling policies the grids
+    /// sweep, with arrival parameters scaled to `n` the way the
+    /// registry's own defaults scale.
+    #[must_use]
+    pub fn sched_specs(n: usize) -> Vec<String> {
+        vec![
+            "sequential".into(),
+            "round-robin".into(),
+            "random".into(),
+            "greedy-adversary".into(),
+            format!("burst:wave={},gap={}", n.div_ceil(2), 2 * n),
+            format!("stagger:stride={}", 2 * n),
+        ]
+    }
+}
+
 /// Phases of the [`Alternator`] state machine.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum AltPhase {

@@ -1,5 +1,6 @@
 //! The `workload` CLI: build a scenario grid, run a sharded sweep,
-//! print a summary table, and optionally write JSON/CSV reports.
+//! print a summary table, and optionally write JSON/CSV reports — plus
+//! the `explore` subcommand for exhaustive small-`n` certification.
 //!
 //! ```text
 //! workload                                  # default grid, all cores
@@ -8,6 +9,8 @@
 //!          --threads 4 --json sweep.json --csv sweep.csv
 //! workload --algs filter:levels=6 --scheds burst:wave=2,gap=32
 //! workload --list                           # both registries, with metadata
+//! workload explore --n 3 --model sc --json explore.json
+//! workload explore --algs broken --n 2      # catch the planted race
 //! ```
 //!
 //! Algorithms and schedulers are registry specs; unknown names fail
@@ -16,6 +19,7 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use exclusion_explore::{analyze, explore, report as xreport, ExploreConfig, Model};
 use exclusion_mutex::registry::AlgorithmRegistry;
 use exclusion_workload::schedreg::SchedulerRegistry;
 use exclusion_workload::{sweep, Scenario, SchedSpec, SweepOptions};
@@ -24,7 +28,8 @@ const USAGE: &str = "\
 workload — adversarial scenario sweeps over the mutual exclusion suite
 
 USAGE:
-    workload [OPTIONS]
+    workload [OPTIONS]            sampled cost sweep (the default mode)
+    workload explore [OPTIONS]    exhaustive exploration (see explore --help)
 
 OPTIONS:
     --algs A,B,...       algorithm specs to sweep (default:
@@ -263,8 +268,248 @@ fn emit(path: &str, what: &str, content: &str) -> Result<(), String> {
     }
 }
 
+const EXPLORE_USAGE: &str = "\
+workload explore — exhaustive bounded exploration: certified safety
+verdicts and exact worst-case costs
+
+USAGE:
+    workload explore [OPTIONS]
+
+OPTIONS:
+    --algs A,B,...       algorithm specs to explore (default: every
+                         entry of the conformance registry — the
+                         standard suite plus the deliberately unsafe
+                         `broken` lock)
+    --n N                processes per instance (default: 3)
+    --passages P         passage bound per process (default: 1)
+    --model M            cost model for the worst-case search:
+                         sc | cc | dsm (default: sc)
+    --depth D            BFS depth bound (default: none)
+    --max-states S       transposition-table cap (default: 2000000)
+    --workers W          worker threads, 0 = one per core (default: 0)
+    --no-worst           skip the exact worst-case search (verdicts only)
+    --json PATH          write the JSON report (`-` for stdout)
+    --quiet              suppress the text table
+    --help               this text
+
+Exit status is nonzero when any explored algorithm other than `broken`
+fails certification, or when `broken` is explored and NOT caught.
+";
+
+struct ExploreArgs {
+    algs: Vec<String>,
+    n: usize,
+    model: Model,
+    no_worst: bool,
+    json: Option<String>,
+    quiet: bool,
+    cfg: ExploreConfig,
+}
+
+fn parse_explore_args(argv: &[String]) -> Result<Option<ExploreArgs>, String> {
+    let mut args = ExploreArgs {
+        algs: Vec::new(),
+        n: 3,
+        model: Model::Sc,
+        no_worst: false,
+        json: None,
+        quiet: false,
+        cfg: ExploreConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algs" => args.algs.extend(split_specs(&value()?)),
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--passages" => {
+                args.cfg.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
+            }
+            "--model" => {
+                let v = value()?;
+                args.model = Model::parse(&v)
+                    .ok_or_else(|| format!("--model: `{v}` is not one of sc|cc|dsm"))?;
+            }
+            "--depth" => {
+                args.cfg.max_depth = Some(value()?.parse().map_err(|e| format!("--depth: {e}"))?);
+            }
+            "--max-states" => {
+                args.cfg.max_states = value()?.parse().map_err(|e| format!("--max-states: {e}"))?;
+            }
+            "--workers" => {
+                args.cfg.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--no-worst" => args.no_worst = true,
+            "--json" => args.json = Some(value()?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{EXPLORE_USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try explore --help)")),
+        }
+    }
+    if args.cfg.passages == 0 {
+        return Err("--passages must be positive".into());
+    }
+    // The explorer's transposition table caps the instance size; turn
+    // its internal asserts into flag errors.
+    if args.n == 0 || args.n > 64 {
+        return Err("--n must be between 1 and 64 (the explorer's process cap)".into());
+    }
+    if args.cfg.max_states >= u32::MAX as usize >> 4 {
+        return Err(format!(
+            "--max-states is capped at {} (32-bit node-id budget)",
+            (u32::MAX >> 4) - 1
+        ));
+    }
+    Ok(Some(args))
+}
+
+fn run_explore(argv: &[String]) -> Result<(), String> {
+    let Some(args) = parse_explore_args(argv)? else {
+        return Ok(());
+    };
+    let registry = exclusion_explore::conformance_registry();
+    let specs: Vec<String> = if args.algs.is_empty() {
+        registry
+            .names()
+            .into_iter()
+            .filter(|name| {
+                // Skip entries the requested n cannot instantiate (the
+                // default grid at n=1 would otherwise trip on `broken`).
+                registry.get(name).is_some_and(|e| e.info().min_n <= args.n)
+            })
+            .collect()
+    } else {
+        args.algs.clone()
+    };
+
+    let mut rows: Vec<Vec<String>> = vec![[
+        "algorithm",
+        "states",
+        "edges",
+        "depth",
+        "safe",
+        "dl-free",
+        "worst",
+        "greedy",
+        "note",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect()];
+    let mut json_items: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for spec in &specs {
+        let resolved = registry
+            .resolve_str(spec, args.n)
+            .map_err(|e| e.to_string())?;
+        let alg = resolved.automaton;
+        // `analyze` shares one graph between certification and the SC
+        // worst-case search; `--no-worst` skips the search entirely.
+        let (report, worst) = if args.no_worst {
+            (explore(alg.as_ref(), &args.cfg), None)
+        } else {
+            analyze(alg.as_ref(), args.model, &args.cfg)
+        };
+        let note = if let Some(v) = &report.violation {
+            format!(
+                "violation in {} steps ({} and {} in critical)",
+                v.schedule.len(),
+                v.culprits.0.index(),
+                v.culprits.1.index()
+            )
+        } else if let Some(h) = &report.hazard {
+            format!("{} ({} doomed states)", h.kind, h.doomed_states)
+        } else if report.truncated {
+            "truncated".into()
+        } else {
+            String::new()
+        };
+        // `broken` must be caught; everything else must certify.
+        let caught = report.violation.is_some();
+        if resolved.label == "broken" {
+            if !caught {
+                failures.push(format!("{}: planted race NOT caught", resolved.label));
+            }
+        } else if !report.certified_deadlock_free() {
+            failures.push(format!("{}: not certified ({note})", resolved.label));
+        }
+        rows.push(vec![
+            resolved.label.clone(),
+            report.states.to_string(),
+            report.edges.to_string(),
+            report.depth.to_string(),
+            if caught {
+                "NO"
+            } else if report.certified_safe() {
+                "yes"
+            } else {
+                "?" // truncated: nothing was proved
+            }
+            .to_string(),
+            if caught || report.hazard.is_some() {
+                "NO"
+            } else if report.certified_deadlock_free() {
+                "yes"
+            } else {
+                "?"
+            }
+            .to_string(),
+            worst
+                .as_ref()
+                .map_or_else(|| "-".into(), |w| xreport::cost_label(&w.cost)),
+            worst
+                .as_ref()
+                .map_or_else(|| "-".into(), |w| w.incumbent.to_string()),
+            note,
+        ]);
+        let mut item = format!("{{\"explore\":{}", xreport::explore_json(&report));
+        match &worst {
+            Some(w) => {
+                let _ = write!(item, ",\"worst\":{}}}", xreport::worst_json(w));
+            }
+            None => item.push_str(",\"worst\":null}"),
+        }
+        json_items.push(item);
+    }
+
+    if !args.quiet {
+        // First and last (note) columns left-aligned, numbers right.
+        let cols = rows[0].len();
+        print!(
+            "{}",
+            exclusion_workload::report::text_table(&rows, &[0, cols - 1])
+        );
+    }
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\"schema\":\"{}\",\"n\":{},\"passages\":{},\"model\":\"{}\",\"results\":[{}]}}",
+            xreport::JSON_SCHEMA,
+            args.n,
+            args.cfg.passages,
+            args.model,
+            json_items.join(",")
+        );
+        emit(path, "JSON report", &json)?;
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explore") {
+        return run_explore(&argv[1..]);
+    }
     let Some(args) = parse_args(&argv)? else {
         return Ok(());
     };

@@ -8,23 +8,51 @@ use crate::runner::{ModelSummary, RunRecord, ScenarioSummary, SweepReport};
 /// Schema tag stamped into every JSON report.
 pub const JSON_SCHEMA: &str = "exclusion-workload/v1";
 
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+/// Renders `rows` (a header row followed by data rows) as an aligned
+/// text table: columns listed in `left_aligned` are left-aligned, all
+/// others right-aligned, cells separated by two spaces, a dashed rule
+/// under the header, trailing whitespace trimmed. Shared by the sweep
+/// summary ([`SweepReport::to_text`]) and the CLI's `explore` table so
+/// the two cannot drift apart visually.
+#[must_use]
+pub fn text_table(rows: &[Vec<String>], left_aligned: &[usize]) -> String {
+    let Some(header) = rows.first() else {
+        return String::new();
+    };
+    let cols = header.len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
             }
-            c => out.push(c),
+            let pad = widths[c].saturating_sub(cell.chars().count());
+            if left_aligned.contains(&c) {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
         }
     }
     out
 }
+
+// One copy of the JSON escaping rules for the whole report stack.
+use exclusion_explore::report::json_escape as esc;
 
 fn model_json(out: &mut String, key: &str, m: &ModelSummary) {
     let _ = write!(
@@ -164,29 +192,7 @@ impl SweepReport {
                 s.dsm.max.to_string(),
             ]);
         }
-        let widths: Vec<usize> = (0..header.len())
-            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
-            .collect();
-        let mut out = String::new();
-        for (i, row) in rows.iter().enumerate() {
-            for (c, cell) in row.iter().enumerate() {
-                if c > 0 {
-                    out.push_str("  ");
-                }
-                if c == 0 {
-                    let _ = write!(out, "{cell:<width$}", width = widths[c]);
-                } else {
-                    let _ = write!(out, "{cell:>width$}", width = widths[c]);
-                }
-            }
-            out.push('\n');
-            if i == 0 {
-                let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
-                out.push_str(&"-".repeat(total));
-                out.push('\n');
-            }
-        }
-        out
+        text_table(&rows, &[0])
     }
 }
 

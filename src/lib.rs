@@ -12,6 +12,10 @@
 //! * [`cost`] — the state-change (SC) cost model of Definition 3.1,
 //!   plus cache-coherent (CC) and distributed-shared-memory (DSM)
 //!   accounting;
+//! * [`explore`] — bounded exhaustive state-space exploration:
+//!   certified mutual-exclusion and deadlock-freedom verdicts (with
+//!   replayable counterexamples for broken locks) and exact worst-case
+//!   cost tables with witness schedules;
 //! * [`lb`] — the lower-bound machinery itself: `construct` (Figure 1),
 //!   `encode` (Figure 2), `decode` (Figure 3), and validators for every
 //!   theorem;
@@ -53,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use exclusion_cost as cost;
+pub use exclusion_explore as explore;
 pub use exclusion_lb as lb;
 pub use exclusion_mutex as mutex;
 pub use exclusion_shmem as shmem;

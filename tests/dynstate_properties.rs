@@ -1,0 +1,125 @@
+//! Property coverage for the erased-state contract the explorer's
+//! transposition table leans on: `DynState` hashing and equality agree
+//! with the concrete states under both representations (inline words
+//! and boxed), and `System` snapshots round-trip bit-identically.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use exclusion::mutex::AlgorithmRegistry;
+use exclusion::shmem::dynamic::{DynState, WordState};
+use exclusion::shmem::sched::{Scheduler, Script};
+use exclusion::shmem::{DynRef, ProcessId, SchedContext, System, ViewTable};
+use proptest::prelude::*;
+
+fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Boxed erasure forwards `hash` to the typed state's own impl and
+    /// `eq` to the typed equality: a boxed `DynState` is
+    /// hash/eq-indistinguishable from its concrete counterpart.
+    #[test]
+    fn boxed_states_agree_with_their_concrete_counterparts(
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let da = DynState::boxed(a);
+        let db = DynState::boxed(b);
+        prop_assert_eq!(da == db, a == b);
+        prop_assert_eq!(hash_of(&da), hash_of(&a), "boxed hash == typed hash");
+        if a != b {
+            prop_assert!(hash_of(&da) != hash_of(&db));
+        }
+    }
+
+    /// Inline (word-packed) erasure: equality mirrors the concrete
+    /// equality, `pack` stays injective (distinct states ⇒ distinct
+    /// words), the packed words round-trip, and hashing mirrors the
+    /// words exactly — the SC model's state-equality contract.
+    #[test]
+    fn packed_states_agree_with_their_concrete_counterparts(
+        a in any::<u32>(),
+        b in any::<u32>(),
+        flag in any::<bool>(),
+    ) {
+        let pa = (a, flag);
+        let pb = (b, flag);
+        let da = DynState::from_words(&pa);
+        let db = DynState::from_words(&pb);
+        prop_assert_eq!(da == db, pa == pb);
+        prop_assert_eq!(da.to_words::<(u32, bool)>(), Some(pa), "round-trip");
+        // Inline states hash their words, so the hash agrees with the
+        // packed image of the concrete state.
+        let mut words = [0u64; 2];
+        pa.pack(&mut words);
+        prop_assert_eq!(hash_of(&da), hash_of(&&words[..]));
+        if pa != pb {
+            prop_assert!(da.words() != db.words(), "pack must be injective");
+        }
+    }
+
+    /// Snapshot → restore → snapshot is bit-identical (equal and
+    /// equal-hashing) at every prefix of a real run, through the erased
+    /// dyn path, and the restored system continues exactly like the
+    /// original.
+    #[test]
+    fn snapshots_roundtrip_bit_identically_along_real_runs(
+        alg_idx in 0usize..11,
+        n in 2usize..=3,
+        seed in any::<u64>(),
+        cut in 1usize..40,
+    ) {
+        let registry = AlgorithmRegistry::global();
+        let name = &registry.names()[alg_idx];
+        let handle = registry.resolve_str(name, n).expect("resolves").automaton;
+        let dref = DynRef(handle.as_ref());
+
+        // Drive a seeded random run and stop at the cut point.
+        let mut sched = exclusion::shmem::sched::Random::new(seed);
+        let mut sys = System::new(&dref);
+        let mut table = ViewTable::new(&sys, 1, sched.wants_step_previews());
+        let mut picks = Vec::new();
+        for step in 0..cut {
+            let ctx = SchedContext { step, target_passages: 1, views: table.views() };
+            let Some(p) = sched.pick(&ctx) else { break };
+            let done = sys.step(p);
+            table.apply(&sys, 1, &done);
+            picks.push(p);
+        }
+
+        let snap = sys.snapshot();
+        let mut restored = System::from_snapshot(&dref, &snap);
+        prop_assert_eq!(restored.snapshot(), snap.clone(), "{}: restore must be exact", name);
+        prop_assert_eq!(hash_of(&restored.snapshot()), hash_of(&snap), "{}", name);
+
+        // Both systems take the same continuation and stay in lockstep.
+        for p in ProcessId::all(n) {
+            if sys.passages(p) >= 1 {
+                continue;
+            }
+            let a = sys.step(p);
+            let b = restored.step(p);
+            prop_assert_eq!(a, b, "{}: divergence after restore", name);
+        }
+        prop_assert_eq!(sys.snapshot(), restored.snapshot(), "{}", name);
+
+        // And the pick sequence replays from scratch to the pre-cut
+        // snapshot: snapshots key on exactly the run history's effect.
+        if !picks.is_empty() {
+            let mut replayed = System::new(&dref);
+            let mut script = Script::new(picks.clone());
+            for step in 0..picks.len() {
+                let ctx = SchedContext { step, target_passages: 1, views: &[] };
+                let p = script.pick(&ctx).expect("script covers the range");
+                replayed.step(p);
+            }
+            prop_assert_eq!(replayed.snapshot(), snap, "{}: replay must land on the snapshot", name);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Safety conformance: the exhaustive explorer's verdict for **every**
+//! entry of the algorithm registry is pinned at the shared small-`n`
+//! fixture grid. All real algorithms — register-only and RMW — must be
+//! *certified* mutually exclusive and deadlock-free; the planted
+//! `broken` lock must be caught with a minimal counterexample that
+//! replays through the ordinary replay machinery.
+
+use exclusion::explore::{conformance_registry, explore, ExploreConfig};
+use exclusion::shmem::testing::fixtures;
+use exclusion::shmem::{replay, DynRef};
+
+/// Pinned state-space sizes for the register-only suite at the fixture
+/// grid (passages = 1). These are exact reachable-state counts; a
+/// change means the algorithm encodings (or the snapshot semantics)
+/// changed.
+const PINNED_STATES: &[(&str, usize, usize)] = &[
+    // (algorithm, states at n=2, states at n=3)
+    ("dekker-tree", 116, 3469),
+    ("peterson", 95, 2285),
+    ("bakery", 216, 7507),
+    ("filter", 95, 2692),
+    ("dijkstra", 164, 4159),
+    ("burns-lynch", 87, 1145),
+];
+
+#[test]
+fn every_registry_entry_is_certified_or_caught_at_small_n() {
+    let registry = conformance_registry();
+    for &n in fixtures::SMALL_NS {
+        for name in registry.names() {
+            let entry = registry.get(&name).expect("listed name resolves");
+            if entry.info().min_n > n {
+                continue;
+            }
+            let alg = registry
+                .resolve_str(&name, n)
+                .expect("registry entry resolves")
+                .automaton;
+            let report = explore(alg.as_ref(), &ExploreConfig::default());
+            assert!(!report.truncated, "{name} at n={n} must explore fully");
+            if name == "broken" {
+                assert!(
+                    report.violation.is_some(),
+                    "the planted race must be caught at n={n}"
+                );
+            } else {
+                assert!(
+                    report.certified_safe(),
+                    "{name} at n={n} must be certified mutually exclusive"
+                );
+                assert!(
+                    report.certified_deadlock_free(),
+                    "{name} at n={n} must be certified deadlock-free"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn register_only_state_spaces_are_pinned() {
+    let registry = conformance_registry();
+    for &(name, at2, at3) in PINNED_STATES {
+        for (n, expected) in [(2, at2), (3, at3)] {
+            let alg = registry
+                .resolve_str(name, n)
+                .expect("pinned name resolves")
+                .automaton;
+            let report = explore(alg.as_ref(), &ExploreConfig::default());
+            assert_eq!(
+                report.states, expected,
+                "{name} at n={n}: reachable-state count drifted"
+            );
+            assert!(report.edges > report.states, "{name} at n={n}");
+        }
+    }
+}
+
+#[test]
+fn broken_counterexample_is_minimal_and_replays() {
+    let registry = conformance_registry();
+    for &n in fixtures::SMALL_NS {
+        let alg = registry
+            .resolve_str("broken", n)
+            .expect("broken resolves")
+            .automaton;
+        let report = explore(alg.as_ref(), &ExploreConfig::default());
+        let cex = report.violation.expect("broken must be caught");
+        // The race needs exactly: both processes try, both read the
+        // clear bit, both claim it, both enter — 8 steps regardless of
+        // how many bystanders exist.
+        assert_eq!(cex.schedule.len(), 8, "minimal witness at n={n}");
+        assert_eq!(cex.trace.len(), cex.schedule.len());
+        assert_ne!(cex.culprits.0, cex.culprits.1);
+        assert!(!cex.trace.mutual_exclusion(n));
+        // The trace replays against the erased algorithm through the
+        // standard replay machinery and indeed ends with two processes
+        // in the critical section.
+        let dref = DynRef(alg.as_ref());
+        let sys = replay(&dref, cex.trace.steps(), |_| {}).expect("witness replays");
+        assert_eq!(sys.in_critical().count(), 2, "n={n}");
+    }
+}
+
+/// The certified verdict is a *proof* only because exploration is
+/// exhaustive: capping the state budget must withdraw certification,
+/// not claim it vacuously.
+#[test]
+fn truncated_runs_never_certify() {
+    let registry = conformance_registry();
+    let alg = registry
+        .resolve_str("dekker-tree", 3)
+        .expect("resolves")
+        .automaton;
+    let report = explore(
+        alg.as_ref(),
+        &ExploreConfig {
+            max_states: 100,
+            ..ExploreConfig::default()
+        },
+    );
+    assert!(report.truncated);
+    assert!(!report.certified_safe());
+    assert!(!report.certified_deadlock_free());
+}

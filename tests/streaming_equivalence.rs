@@ -12,20 +12,20 @@
 use exclusion::cost::{all_costs, run_priced, run_priced_dyn, CostTracker};
 use exclusion::mutex::{AlgorithmRegistry, AnyAlgorithm};
 use exclusion::shmem::sched::run_scheduler;
+use exclusion::shmem::testing::fixtures;
 use exclusion::shmem::{Automaton, DynRef, ProcessId, RegisterId, System, ViewTable};
 use exclusion::workload::{SchedSpec, SchedulerRegistry};
 
-const MAX_STEPS: usize = 50_000_000;
+const MAX_STEPS: usize = fixtures::MAX_STEPS;
 
+/// The shared small-`n` scheduler grid (`shmem::testing::fixtures`),
+/// parsed into specs — the same grid the safety-conformance and
+/// exhaustive-bounds suites sweep.
 fn all_specs(n: usize) -> Vec<SchedSpec> {
-    vec![
-        SchedSpec::sequential(),
-        SchedSpec::round_robin(),
-        SchedSpec::random(),
-        SchedSpec::greedy(),
-        SchedSpec::burst(n.div_ceil(2), 2 * n),
-        SchedSpec::stagger(2 * n),
-    ]
+    fixtures::sched_specs(n)
+        .iter()
+        .map(|s| SchedSpec::parse(s).expect("fixture specs parse"))
+        .collect()
 }
 
 /// The acceptance bar for the streaming engine and the erased-state
@@ -37,7 +37,7 @@ fn all_specs(n: usize) -> Vec<SchedSpec> {
 #[test]
 fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
     let n = 4;
-    let passages = 2;
+    let passages = fixtures::PASSAGES;
     let algs = AlgorithmRegistry::global();
     let scheds = SchedulerRegistry::global();
     for name in algs.names() {
@@ -48,7 +48,7 @@ fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
             .automaton;
         for spec in all_specs(n) {
             let sched = scheds.resolve(spec.spec(), n).expect("known policy");
-            let seeds: &[u64] = if sched.seeded { &[1, 7, 42] } else { &[0] };
+            let seeds: &[u64] = if sched.seeded { fixtures::SEEDS } else { &[0] };
             for &seed in seeds {
                 let label = format!("{name} under {} seed {seed}", sched.label);
 
