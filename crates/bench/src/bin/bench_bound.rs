@@ -1,0 +1,60 @@
+//! `bench_bound` — adaptive forced-cost curves (adaptive vs greedy vs
+//! exact-at-small-n), written to `BENCH_bound.json`.
+//!
+//! ```text
+//! bench_bound                      # full grid (n up to 128), BENCH_bound.json
+//! bench_bound --quick --out -      # n ≤ 16, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any game fails to complete, the portfolio fails to
+//! dominate its greedy member, a witness does not replay to the forced
+//! SC cost, or a small-`n` forced cost is unsound against the
+//! exhaustive supremum — CI runs the `--quick` grid as the bound smoke
+//! test.
+
+use std::process::ExitCode;
+
+use exclusion_bench::boundbench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_bound.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_bound: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_bound [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_bound: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (cells, exact) = run(quick);
+    eprint!("{}", to_text(&cells, &exact));
+    let json = to_json(&cells, &exact, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_bound: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&cells, &exact) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_bound: some games failed to dominate, replay, or stay sound");
+        ExitCode::FAILURE
+    }
+}

@@ -7,7 +7,10 @@
 //! dyn path against the monomorphized enum path and emits
 //! `BENCH_dispatch.json`; the `bench_explore` binary (module
 //! [`explorebench`]) computes the exact worst-case cost tables for
-//! small `n` and emits `BENCH_explore.json`.
+//! small `n` and emits `BENCH_explore.json`; the `bench_bound` binary
+//! (module [`boundbench`]) plays the adaptive lower-bound adversary
+//! against the greedy baseline across the forced-cost grid and emits
+//! `BENCH_bound.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -17,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boundbench;
 pub mod dispatchbench;
 pub mod experiments;
 pub mod explorebench;

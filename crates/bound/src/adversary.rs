@@ -1,0 +1,403 @@
+//! The adaptive lower-bound adversary: a stateful [`Scheduler`] that
+//! plays the paper's information-theoretic game move by move.
+//!
+//! # Strategy
+//!
+//! The paper's adversary forces Ω(n log n) state changes by controlling
+//! *what each process knows*: as long as two processes have never
+//! (transitively) observed each other's writes, the adversary can still
+//! order them either way, and every bit of ordering information it is
+//! forced to reveal costs the algorithm a state change. The executable
+//! strategy here maintains exactly that structure — an *awareness
+//! partition* of the processes, coarsened as scheduled reads observe
+//! scheduled writes — and picks the next process by three rules, refined
+//! from the greedy charged-steps-first adversary:
+//!
+//! 1. **Harvest reads before writes.** A charged read is a unit of cost
+//!    with no externality: executing it cannot un-charge anyone else's
+//!    pending step. A charged write can — it may overwrite the very
+//!    value other processes were about to be charged for reading. So
+//!    among charged shared steps, all pending charged reads are
+//!    harvested before the next write is allowed to clobber a register
+//!    ([`GreedyAdversary`] schedules writes first and routinely donates
+//!    those reads back to the algorithm).
+//! 2. **Reveal to the smallest audience.** Among charged writes, prefer
+//!    the register with the fewest pending readers: information the
+//!    algorithm must pay to re-acquire later, revealed to as few
+//!    processes as possible per step — the move-by-move version of
+//!    keeping unaware groups large.
+//! 3. **Merge balanced.** Among charged reads, prefer the one whose
+//!    observation merges the two *smallest* awareness groups (the read's
+//!    process and the last writer of its register). Balanced merges
+//!    maximize the number of merge rounds the adversary can force —
+//!    log n rounds, as in the encoding argument — instead of growing one
+//!    aware blob that absorbs singletons in a linear number of cheap
+//!    steps.
+//!
+//! Everything else matches the greedy adversary deliberately: `try`
+//! steps are recruited first (contention needs participants), free
+//! critical steps and free spins come last, ties prefer the fewest
+//! completed passages, and the same starvation valve keeps the schedule
+//! fair in the paper's sense so runs of livelock-free algorithms
+//! terminate. The valve is also what makes *unbounded* SC algorithms
+//! (remote spins, pumpable forever by a true adversary) yield a finite
+//! forced cost: the adversary milks each pump for `patience` picks per
+//! valve window and no more.
+//!
+//! The adversary infers everything from the [`SchedContext`] it is
+//! shown: each pick executes the picked process's previewed step, so
+//! the last writer of every register and the awareness partition are
+//! reconstructed exactly, with no access to the [`System`] internals —
+//! it composes with every generic driver, including the streaming
+//! pricer `run_priced`, unchanged.
+//!
+//! Determinism: picks are a pure function of the observed run prefix
+//! and the seed (which only perturbs final tie-breaks); all state lives
+//! in index-addressed vectors, so there is no hash-iteration
+//! nondeterminism to leak in. Same algorithm, `n` and seed ⇒ the same
+//! schedule, bit for bit, pinned by the workspace's determinism suite.
+//!
+//! [`GreedyAdversary`]: exclusion_shmem::sched::GreedyAdversary
+//! [`System`]: exclusion_shmem::System
+
+use exclusion_shmem::sched::{SchedContext, Scheduler};
+use exclusion_shmem::{CritKind, NextStep, ProcessId, RegisterId};
+
+/// Deterministically scrambles the seed into a tie-break mask
+/// (SplitMix64 finalizer).
+fn mix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Union-find over process indices, by size with path halving — the
+/// awareness partition. Plain vectors, fully deterministic.
+#[derive(Clone, Debug, Default)]
+struct Partition {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Partition {
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.size.clear();
+        self.size.resize(n, 1);
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Size of the group `x` belongs to.
+    fn group_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+
+    /// The size the merged group of `a` and `b` would have (their
+    /// current combined size; just `|group(a)|` when already merged).
+    fn merged_size(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            self.size[ra]
+        } else {
+            self.size[ra] + self.size[rb]
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+/// The adaptive lower-bound adversary (see the module docs for the
+/// strategy). Registered in the scheduler registry as `fanlynch`, after
+/// the paper's authors.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_bound::AdaptiveAdversary;
+/// use exclusion_cost::run_priced;
+/// use exclusion_mutex::DekkerTournament;
+///
+/// let alg = DekkerTournament::new(8);
+/// let priced = run_priced(&alg, &mut AdaptiveAdversary::new(0), 1, 1_000_000).unwrap();
+/// assert!(priced.sc.total() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaptiveAdversary {
+    tiebreak: u64,
+    patience: Option<usize>,
+    /// `last_picked[p]`: the step at which `p` was last scheduled —
+    /// the starvation valve's clock, exactly as in the greedy
+    /// adversary.
+    last_picked: Vec<Option<usize>>,
+    /// `last_writer[r]`: the process whose (scheduled) write or RMW
+    /// most recently set register `r`. Grown on demand — the adversary
+    /// learns the register space from the previews it sees.
+    last_writer: Vec<Option<ProcessId>>,
+    /// The awareness partition: groups of processes that have
+    /// (transitively) observed each other.
+    aware: Partition,
+    /// Scratch: pending readers per register this pick (the audience a
+    /// write to the register would reveal to). Reused across picks.
+    audience: Vec<usize>,
+}
+
+impl AdaptiveAdversary {
+    /// An adaptive adversary with the default patience of `4·n + 4`
+    /// picks (the greedy adversary's valve, for like-for-like
+    /// comparisons). The seed perturbs final tie-breaks only.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        AdaptiveAdversary {
+            tiebreak: mix(seed),
+            patience: None,
+            last_picked: Vec::new(),
+            last_writer: Vec::new(),
+            aware: Partition::default(),
+            audience: Vec::new(),
+        }
+    }
+
+    /// An adversary whose starvation valve triggers after `patience`
+    /// consecutive skips. Lower is fairer (and extracts less from
+    /// pumpable spins); `usize::MAX` disables the valve, and runs of
+    /// remote-spin algorithms may then exhaust their budget.
+    #[must_use]
+    pub fn with_patience(seed: u64, patience: usize) -> Self {
+        AdaptiveAdversary {
+            patience: Some(patience),
+            ..AdaptiveAdversary::new(seed)
+        }
+    }
+
+    /// The number of awareness groups still separate — `n` at the start
+    /// of a run, decreasing as scheduled reads observe scheduled
+    /// writes. Exposed for reports and tests.
+    #[must_use]
+    pub fn groups(&mut self) -> usize {
+        (0..self.aware.parent.len())
+            .filter(|&p| self.aware.find(p) == p)
+            .count()
+    }
+
+    fn ensure_register(&mut self, reg: RegisterId) {
+        if reg.index() >= self.last_writer.len() {
+            self.last_writer.resize(reg.index() + 1, None);
+        }
+        if reg.index() >= self.audience.len() {
+            self.audience.resize(reg.index() + 1, 0);
+        }
+    }
+
+    /// Records the execution of `pid`'s previewed step `next` into the
+    /// adversary's model of the run: writers become the last writer of
+    /// their register, charged reads (and RMWs, which read too) merge
+    /// the reader's awareness group with the last writer's.
+    fn learn(&mut self, pid: ProcessId, next: NextStep, charged: bool) {
+        match next {
+            NextStep::Read(reg) => {
+                self.ensure_register(reg);
+                if charged {
+                    if let Some(w) = self.last_writer[reg.index()] {
+                        self.aware.union(pid.index(), w.index());
+                    }
+                }
+            }
+            NextStep::Rmw(reg, _) => {
+                self.ensure_register(reg);
+                if charged {
+                    if let Some(w) = self.last_writer[reg.index()] {
+                        self.aware.union(pid.index(), w.index());
+                    }
+                }
+                self.last_writer[reg.index()] = Some(pid);
+            }
+            NextStep::Write(reg, _) => {
+                self.ensure_register(reg);
+                self.last_writer[reg.index()] = Some(pid);
+            }
+            NextStep::Crit(_) => {}
+        }
+    }
+}
+
+impl Scheduler for AdaptiveAdversary {
+    fn name(&self) -> String {
+        "fanlynch".into()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        let n = ctx.views.len();
+        // Derived per pick, not latched: a reused adversary driven over
+        // a different-sized algorithm gets that run's default valve,
+        // like the rest of the per-run state below.
+        let patience = self.patience.unwrap_or(4 * n + 4);
+        // A pick at step 0 is the start of a (possibly new) run.
+        if self.last_picked.len() != n || ctx.step == 0 {
+            self.last_picked.clear();
+            self.last_picked.resize(n, None);
+            self.last_writer.clear();
+            self.audience.clear();
+            self.aware.reset(n);
+        }
+        // Pass 1: audiences — how many live processes are waiting to
+        // read each register right now (rule 2's externality measure).
+        self.audience.iter_mut().for_each(|a| *a = 0);
+        for v in ctx.live() {
+            if let NextStep::Read(reg) | NextStep::Rmw(reg, _) = v.next {
+                self.ensure_register(reg);
+                self.audience[reg.index()] += 1;
+            }
+        }
+        // Pass 2: classify. Key order: class, fewest passages (keep
+        // everyone in the contended trying section), the class's
+        // knowledge subkey, longest-unscheduled, then a seed-perturbed
+        // pid tie-break. The starvation valve mirrors the greedy
+        // adversary's exactly (including its latest-maximum tie-break).
+        type Key = (usize, usize, usize, std::cmp::Reverse<usize>, usize);
+        let mut starved: Option<(usize, ProcessId)> = None;
+        let mut best: Option<(Key, ProcessId)> = None;
+        for v in ctx.live() {
+            let waited = match self.last_picked[v.pid.index()] {
+                Some(s) => ctx.step.saturating_sub(s + 1),
+                None => ctx.step,
+            };
+            if waited >= patience && starved.is_none_or(|(w, _)| waited >= w) {
+                starved = Some((waited, v.pid));
+            }
+            let (class, subkey) = match (v.next, v.changes_state) {
+                // Recruit everyone into the trying section first.
+                (NextStep::Crit(CritKind::Try), _) => (0usize, 0usize),
+                // Rule 1+3: harvest charged reads before any write can
+                // clobber what they are about to observe; among them,
+                // merge the smallest awareness groups first.
+                (NextStep::Read(reg), true) => {
+                    let merged = match self.last_writer.get(reg.index()).copied().flatten() {
+                        Some(w) => self.aware.merged_size(v.pid.index(), w.index()),
+                        None => self.aware.group_size(v.pid.index()),
+                    };
+                    (1, merged)
+                }
+                // Rule 2: charged writes (and RMWs) reveal to the
+                // smallest audience.
+                (NextStep::Write(reg, _) | NextStep::Rmw(reg, _), true) => {
+                    (2, self.audience.get(reg.index()).copied().unwrap_or(0))
+                }
+                // Free critical progress only when nothing is
+                // chargeable.
+                (NextStep::Crit(_), _) => (3, 0),
+                // Free spins last: they cost nothing and learn nothing.
+                (_, false) => (4, 0),
+            };
+            let key = (
+                class,
+                v.passages,
+                subkey,
+                std::cmp::Reverse(waited),
+                v.pid.index() ^ (self.tiebreak as usize),
+            );
+            if best.is_none_or(|(k, _)| key < k) {
+                best = Some((key, v.pid));
+            }
+        }
+        let picked = starved.map(|(_, p)| p).or(best.map(|(_, p)| p))?;
+        self.last_picked[picked.index()] = Some(ctx.step);
+        // The driver will execute exactly the previewed step of the
+        // process we return; fold it into the model now.
+        let view = &ctx.views[picked.index()];
+        self.learn(picked, view.next, view.changes_state);
+        Some(picked)
+    }
+
+    fn wants_step_previews(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::sched::run_scheduler;
+    use exclusion_shmem::testing::Alternator;
+
+    #[test]
+    fn adaptive_terminates_and_is_deterministic() {
+        let alg = Alternator::new(4);
+        let a = run_scheduler(&alg, &mut AdaptiveAdversary::new(7), 2, 100_000).unwrap();
+        let b = run_scheduler(&alg, &mut AdaptiveAdversary::new(7), 2, 100_000).unwrap();
+        assert_eq!(a, b);
+        assert!(a.well_formed(4));
+        assert!(a.mutual_exclusion(4));
+        assert_eq!(a.critical_order().len(), 8);
+    }
+
+    #[test]
+    fn reused_adversary_reproduces_its_first_run() {
+        let alg = Alternator::new(3);
+        let mut sched = AdaptiveAdversary::new(0);
+        let a = run_scheduler(&alg, &mut sched, 2, 100_000).unwrap();
+        let b = run_scheduler(&alg, &mut sched, 2, 100_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reuse_across_sizes_matches_a_fresh_adversary() {
+        // The default starvation valve is 4·n + 4 *per run*: driving a
+        // reused adversary over a smaller algorithm must re-derive it,
+        // not keep the first run's larger latch (Peterson's bouncing
+        // spin makes the valve load-bearing, so a stale patience would
+        // change the schedule).
+        use exclusion_mutex::Peterson;
+        let big = Peterson::new(6);
+        let small = Peterson::new(2);
+        let mut reused = AdaptiveAdversary::new(0);
+        let _ = run_scheduler(&big, &mut reused, 1, 1_000_000).unwrap();
+        let replay = run_scheduler(&small, &mut reused, 2, 1_000_000).unwrap();
+        let fresh = run_scheduler(&small, &mut AdaptiveAdversary::new(0), 2, 1_000_000).unwrap();
+        assert_eq!(replay, fresh);
+    }
+
+    #[test]
+    fn never_burns_steps_on_free_spins_when_charged_steps_exist() {
+        // Alternator: only the token holder makes progress; the
+        // adversary must match the minimal sequential step count.
+        let alg = Alternator::new(3);
+        let adaptive = run_scheduler(&alg, &mut AdaptiveAdversary::new(0), 1, 100_000).unwrap();
+        let order: Vec<_> = ProcessId::all(3).collect();
+        let seq = exclusion_shmem::sched::run_sequential(&alg, &order, 100_000).unwrap();
+        assert_eq!(adaptive.len(), seq.len());
+    }
+
+    #[test]
+    fn partition_unions_by_size_and_counts_groups() {
+        let mut adv = AdaptiveAdversary::new(0);
+        adv.aware.reset(4);
+        assert_eq!(adv.groups(), 4);
+        adv.aware.union(0, 1);
+        adv.aware.union(2, 3);
+        assert_eq!(adv.groups(), 2);
+        assert_eq!(adv.aware.merged_size(0, 2), 4);
+        assert_eq!(adv.aware.merged_size(0, 1), 2);
+        adv.aware.union(1, 3);
+        assert_eq!(adv.groups(), 1);
+    }
+}

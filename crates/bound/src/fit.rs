@@ -1,0 +1,133 @@
+//! Least-squares fitting of forced-cost curves against the paper's
+//! `c · n · log₂ n` growth law.
+
+/// A one-parameter least-squares fit `cost(n) ≈ c · n · log₂ n`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Fit {
+    /// The fitted coefficient (minimizing the sum of squared residuals
+    /// over the grid). Positive whenever any grid point has positive
+    /// cost.
+    pub c: f64,
+    /// Coefficient of determination against the (uncentered) curve:
+    /// `1 − Σ(y − c·x)² / Σy²`, in `[0, 1]` for the least-squares `c`.
+    /// Near 1 means the curve is explained by `c·n·log₂n`; curves that
+    /// really grow like `n²` still fit with positive `c` but leave a
+    /// visibly lower `r2`.
+    pub r2: f64,
+}
+
+/// The fit's basis function: `n · log₂ n` (0 at `n ≤ 1`).
+#[must_use]
+pub fn nlogn(n: usize) -> f64 {
+    let nf = n as f64;
+    if n <= 1 {
+        0.0
+    } else {
+        nf * nf.log2()
+    }
+}
+
+/// Fits `costs[i] ≈ c · ns[i]·log₂ ns[i]` by least squares.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn fit_nlogn(ns: &[usize], costs: &[usize]) -> Fit {
+    assert_eq!(ns.len(), costs.len(), "grid and costs must align");
+    let mut xy = 0.0f64;
+    let mut xx = 0.0f64;
+    let mut yy = 0.0f64;
+    for (&n, &y) in ns.iter().zip(costs) {
+        let x = nlogn(n);
+        let y = y as f64;
+        xy += x * y;
+        xx += x * x;
+        yy += y * y;
+    }
+    let c = if xx > 0.0 { xy / xx } else { 0.0 };
+    let mut ss_res = 0.0f64;
+    for (&n, &y) in ns.iter().zip(costs) {
+        let r = y as f64 - c * nlogn(n);
+        ss_res += r * r;
+    }
+    let r2 = if yy > 0.0 {
+        (1.0 - ss_res / yy).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    Fit { c, r2 }
+}
+
+/// The doubling grid `{lo, 2·lo, 4·lo, …} ∩ [lo, hi]` — the `n` axis of
+/// forced-cost curves (the CLI's `--n 4..64` spelling).
+///
+/// `hi` itself is included even when it is not a power-of-two multiple
+/// of `lo` (so `4..48` yields `4, 8, 16, 32, 48`). Empty when
+/// `lo == 0` or `lo > hi`.
+#[must_use]
+pub fn doubling_grid(lo: usize, hi: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if lo == 0 || lo > hi {
+        return out;
+    }
+    let mut n = lo;
+    while n < hi {
+        out.push(n);
+        match n.checked_mul(2) {
+            Some(next) => n = next,
+            None => break,
+        }
+    }
+    out.push(hi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nlogn_data_fits_with_r2_one() {
+        let ns = [4usize, 8, 16, 32, 64];
+        let costs: Vec<usize> = ns
+            .iter()
+            .map(|&n| (3.0 * nlogn(n)).round() as usize)
+            .collect();
+        let fit = fit_nlogn(&ns, &costs);
+        assert!((fit.c - 3.0).abs() < 0.01, "{fit:?}");
+        assert!(fit.r2 > 0.999, "{fit:?}");
+    }
+
+    #[test]
+    fn quadratic_data_still_fits_positive_but_with_lower_r2() {
+        let ns = [4usize, 8, 16, 32, 64];
+        let costs: Vec<usize> = ns.iter().map(|&n| n * n).collect();
+        let fit = fit_nlogn(&ns, &costs);
+        assert!(fit.c > 0.0);
+        let exact = fit_nlogn(
+            &ns,
+            &ns.iter()
+                .map(|&n| (2.0 * nlogn(n)) as usize)
+                .collect::<Vec<_>>(),
+        );
+        assert!(fit.r2 < exact.r2);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_total() {
+        assert_eq!(fit_nlogn(&[], &[]).c, 0.0);
+        let f = fit_nlogn(&[1], &[5]);
+        assert_eq!(f.c, 0.0, "n=1 has a zero basis");
+        assert_eq!(fit_nlogn(&[4, 8], &[0, 0]).r2, 0.0);
+    }
+
+    #[test]
+    fn doubling_grid_spans_and_includes_hi() {
+        assert_eq!(doubling_grid(4, 64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(doubling_grid(4, 48), vec![4, 8, 16, 32, 48]);
+        assert_eq!(doubling_grid(8, 8), vec![8]);
+        assert!(doubling_grid(0, 8).is_empty());
+        assert!(doubling_grid(9, 8).is_empty());
+    }
+}

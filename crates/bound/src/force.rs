@@ -1,0 +1,339 @@
+//! The adversary game driver: [`force`] plays the full game for one
+//! algorithm instance and returns the forced cost per model plus a
+//! replayable witness schedule; [`force_curve`] sweeps a grid of `n`
+//! and fits the paper's `c·n·log₂n` growth law.
+
+use exclusion_cost::{run_priced, PricedRun};
+use exclusion_mutex::registry::AlgorithmRegistry;
+use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
+use exclusion_shmem::sched::{GreedyAdversary, Script, Traced};
+use exclusion_shmem::spec::SpecError;
+use exclusion_shmem::{ProcessId, Scheduler};
+
+use crate::adversary::AdaptiveAdversary;
+use crate::fit::{fit_nlogn, Fit};
+
+/// The cost models a forced run is priced under, in the index order of
+/// every `[usize; 3]` in this module: state-change (the paper's model),
+/// cache-coherent, distributed shared memory.
+pub const MODELS: [&str; 3] = ["sc", "cc", "dsm"];
+
+/// Index of the SC model in [`MODELS`]-ordered arrays.
+pub const SC: usize = 0;
+
+/// A [`MODELS`]-ordered cost array as the members of a JSON object
+/// (`"sc":1,"cc":2,"dsm":3`) — the one formatter the bound reports
+/// (`workload bound`, `bench_bound`) share.
+#[must_use]
+pub fn models_json(costs: &[usize; 3]) -> String {
+    MODELS
+        .iter()
+        .zip(costs)
+        .map(|(m, x)| format!("\"{m}\":{x}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Bounds and knobs for one adversary game.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BoundConfig {
+    /// Passages every process is driven to (default 1 — the paper's
+    /// one-passage trying-protocol game).
+    pub passages: usize,
+    /// Step budget per strategy run.
+    pub max_steps: usize,
+    /// Tie-break seed for the adaptive strategy.
+    pub seed: u64,
+    /// Starvation-valve threshold for both strategies; `None` is the
+    /// shared default of `4·n + 4` picks.
+    pub patience: Option<usize>,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig {
+            passages: 1,
+            max_steps: 50_000_000,
+            seed: 0,
+            patience: None,
+        }
+    }
+}
+
+/// The outcome of one adversary game: one algorithm at one `n`.
+///
+/// The *forced* cost under each model is the best any strategy in the
+/// adversary's portfolio achieved — the adaptive knowledge-partition
+/// strategy and the greedy baseline it must dominate (an adversary is a
+/// strategy family: it may always play the stronger member, so
+/// `forced ≥ greedy` holds per model by construction, and the
+/// interesting measurement is how far `adaptive` alone moves past
+/// `greedy`). [`script`](ForcedRun::script) replays the SC-winning
+/// schedule bit-identically through any generic driver.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ForcedRun {
+    /// Algorithm name (the automaton's own, or the registry label when
+    /// produced by [`force_curve`]).
+    pub algorithm: String,
+    /// Process count.
+    pub n: usize,
+    /// Passage target per process.
+    pub passages: usize,
+    /// Steps of the SC-winning schedule.
+    pub steps: usize,
+    /// The SC-winning schedule; replaying it through `run_priced` (via
+    /// [`ForcedRun::script`]) reproduces `forced[SC]` exactly.
+    pub schedule: Vec<ProcessId>,
+    /// Forced cost per model ([`MODELS`] order): the portfolio maximum.
+    pub forced: [usize; 3],
+    /// Which strategy realized each forced cost.
+    pub winner: [&'static str; 3],
+    /// The adaptive strategy's cost per model.
+    pub adaptive: [usize; 3],
+    /// The greedy baseline's cost per model.
+    pub greedy: [usize; 3],
+    /// Why strategy runs failed (step-budget exhaustion), labeled per
+    /// strategy. A failed strategy contributes zero cost; the game
+    /// still [`completed`](ForcedRun::completed) as long as any
+    /// strategy finished.
+    pub errors: Vec<String>,
+}
+
+impl ForcedRun {
+    /// The witness schedule as a [`Script`] scheduler, ready to replay
+    /// through `run_scheduler` or `run_priced`.
+    #[must_use]
+    pub fn script(&self) -> Script {
+        Script::new(self.schedule.clone())
+    }
+
+    /// Whether at least one portfolio strategy completed the game (so
+    /// the forced costs and the witness schedule are meaningful).
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.winner[SC] != "none"
+    }
+}
+
+/// One forced-cost curve: an algorithm swept over a grid of `n`, with
+/// per-model least-squares fits against `c·n·log₂n`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BoundCurve {
+    /// Resolved registry label.
+    pub algorithm: String,
+    /// One game per grid point, in grid order.
+    pub cells: Vec<ForcedRun>,
+    /// Per-model fits of the forced costs over the grid ([`MODELS`]
+    /// order), over the cells that completed.
+    pub fits: [Fit; 3],
+}
+
+fn costs_of(priced: &PricedRun) -> [usize; 3] {
+    [priced.sc.total(), priced.cc.total(), priced.dsm.total()]
+}
+
+fn play(
+    alg: &dyn DynAutomaton,
+    sched: impl Scheduler,
+    cfg: &BoundConfig,
+) -> Result<(PricedRun, Vec<ProcessId>), String> {
+    let mut traced = Traced::new(sched);
+    let priced = run_priced(&DynRef(alg), &mut traced, cfg.passages, cfg.max_steps)
+        .map_err(|e| e.to_string())?;
+    Ok((priced, traced.into_picks()))
+}
+
+/// Plays the adversary game for one algorithm instance: runs every
+/// portfolio strategy to completion, prices each run in one streaming
+/// pass, and keeps the per-model best (see [`ForcedRun`]).
+#[must_use]
+pub fn force(alg: &dyn DynAutomaton, cfg: &BoundConfig) -> ForcedRun {
+    let n = alg.processes();
+    let adaptive = match cfg.patience {
+        None => AdaptiveAdversary::new(cfg.seed),
+        Some(p) => AdaptiveAdversary::with_patience(cfg.seed, p),
+    };
+    let greedy = match cfg.patience {
+        None => GreedyAdversary::new(),
+        Some(p) => GreedyAdversary::with_patience(p),
+    };
+    let mut run = ForcedRun {
+        algorithm: alg.name(),
+        n,
+        passages: cfg.passages,
+        steps: 0,
+        schedule: Vec::new(),
+        forced: [0; 3],
+        winner: ["none"; 3],
+        adaptive: [0; 3],
+        greedy: [0; 3],
+        errors: Vec::new(),
+    };
+    let mut sc_best: Option<(usize, Vec<ProcessId>, usize)> = None;
+    for (name, outcome) in [
+        ("fanlynch", play(alg, adaptive, cfg)),
+        ("greedy-adversary", play(alg, greedy, cfg)),
+    ] {
+        match outcome {
+            Ok((priced, picks)) => {
+                let costs = costs_of(&priced);
+                if name == "fanlynch" {
+                    run.adaptive = costs;
+                } else {
+                    run.greedy = costs;
+                }
+                for (m, &c) in costs.iter().enumerate() {
+                    // Strictly-greater keeps the adaptive strategy (run
+                    // first) as the winner on ties.
+                    if run.winner[m] == "none" || c > run.forced[m] {
+                        run.forced[m] = c;
+                        run.winner[m] = name;
+                    }
+                }
+                if sc_best
+                    .as_ref()
+                    .is_none_or(|&(best, _, _)| costs[SC] > best)
+                {
+                    sc_best = Some((costs[SC], picks, priced.steps));
+                }
+            }
+            Err(e) => run.errors.push(format!("{name}: {e}")),
+        }
+    }
+    if let Some((_, picks, steps)) = sc_best {
+        run.schedule = picks;
+        run.steps = steps;
+    }
+    run
+}
+
+/// The names of `registry`'s register-only entries, in registration
+/// order — the algorithms the paper's Ω(n log n) theorem covers (RMW
+/// locks live outside the register-only model and are filtered out by
+/// their own metadata, so downstream growth suites and benchmarks
+/// cannot drift from the registry).
+#[must_use]
+pub fn register_only(registry: &AlgorithmRegistry) -> Vec<String> {
+    registry
+        .entries()
+        .filter(|e| !e.info().uses_rmw)
+        .map(|e| e.info().name.clone())
+        .collect()
+}
+
+/// Plays the game for `spec` (an algorithm registry spelling, resolved
+/// per grid point so the instance matches each `n`) across the grid
+/// `ns`, and fits the forced cost per model against `c·n·log₂n`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] when the spec does not parse, does not
+/// resolve, or a grid point is below the entry's `min_n` floor.
+pub fn force_curve(
+    registry: &AlgorithmRegistry,
+    spec: &str,
+    ns: &[usize],
+    cfg: &BoundConfig,
+) -> Result<BoundCurve, SpecError> {
+    let mut cells = Vec::with_capacity(ns.len());
+    let mut label = String::new();
+    for &n in ns {
+        let resolved = registry.resolve_str(spec, n)?;
+        label = resolved.label.clone();
+        let mut cell = force(resolved.automaton.as_ref(), cfg);
+        cell.algorithm = resolved.label;
+        cells.push(cell);
+    }
+    let fits = std::array::from_fn(|m| {
+        let (grid, costs): (Vec<usize>, Vec<usize>) = cells
+            .iter()
+            .filter(|c| c.completed())
+            .map(|c| (c.n, c.forced[m]))
+            .unzip();
+        fit_nlogn(&grid, &costs)
+    });
+    Ok(BoundCurve {
+        algorithm: label,
+        cells,
+        fits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_dominates_both_strategies_and_the_script_replays() {
+        let reg = AlgorithmRegistry::standard();
+        let cfg = BoundConfig::default();
+        for spec in ["dekker-tree", "peterson", "bakery"] {
+            let alg = reg.resolve_str(spec, 4).unwrap().automaton;
+            let run = force(alg.as_ref(), &cfg);
+            assert!(
+                run.completed() && run.errors.is_empty(),
+                "{spec}: {:?}",
+                run.errors
+            );
+            for (m, model) in MODELS.iter().enumerate() {
+                assert!(run.forced[m] >= run.adaptive[m], "{spec} {model}");
+                assert!(run.forced[m] >= run.greedy[m], "{spec} {model}");
+                assert_eq!(
+                    run.forced[m],
+                    run.adaptive[m].max(run.greedy[m]),
+                    "{spec} {model}"
+                );
+            }
+            let priced = run_priced(
+                &DynRef(alg.as_ref()),
+                &mut run.script(),
+                cfg.passages,
+                run.steps + 1,
+            )
+            .unwrap();
+            assert_eq!(priced.steps, run.steps, "{spec}");
+            assert_eq!(priced.sc.total(), run.forced[SC], "{spec}");
+        }
+    }
+
+    #[test]
+    fn force_is_deterministic() {
+        let reg = AlgorithmRegistry::standard();
+        let alg = reg.resolve_str("burns-lynch", 5).unwrap().automaton;
+        let cfg = BoundConfig {
+            seed: 3,
+            ..BoundConfig::default()
+        };
+        let a = force(alg.as_ref(), &cfg);
+        let b = force(alg.as_ref(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_budgets_fail_the_cell_only_when_no_strategy_finishes() {
+        let reg = AlgorithmRegistry::standard();
+        let alg = reg.resolve_str("bakery", 3).unwrap().automaton;
+        let run = force(
+            alg.as_ref(),
+            &BoundConfig {
+                max_steps: 3,
+                ..BoundConfig::default()
+            },
+        );
+        assert!(!run.completed());
+        assert_eq!(run.errors.len(), 2, "{:?}", run.errors);
+        assert!(run.schedule.is_empty());
+        assert_eq!(run.forced, [0; 3]);
+    }
+
+    #[test]
+    fn curves_resolve_per_grid_point_and_fit() {
+        let reg = AlgorithmRegistry::standard();
+        let curve = force_curve(&reg, "dekker-tree", &[2, 4, 8], &BoundConfig::default()).unwrap();
+        assert_eq!(curve.algorithm, "dekker-tree");
+        assert_eq!(curve.cells.len(), 3);
+        assert!(curve.cells.iter().all(ForcedRun::completed));
+        assert!(curve.fits[SC].c > 0.0);
+        assert!(force_curve(&reg, "no-such-lock", &[2], &BoundConfig::default()).is_err());
+    }
+}

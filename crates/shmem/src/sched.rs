@@ -25,6 +25,11 @@
 //! * [`Script`] — replays a fixed pick sequence (e.g. an exact
 //!   worst-case witness schedule) and stops.
 //!
+//! [`Traced`] wraps any scheduler and records the picks it makes — the
+//! hook surface for adversary engines (`exclusion-bound`) that need a
+//! replayable [`Script`] out of a stateful, observation-fed strategy
+//! without changing how the run is driven or priced.
+//!
 //! # Fairness obligations for implementors
 //!
 //! The paper's executions are *fair*: no process outside its remainder
@@ -573,7 +578,10 @@ impl Scheduler for GreedyAdversary {
 
     fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
         let n = ctx.views.len();
-        let patience = *self.patience.get_or_insert(4 * n + 4);
+        // Derived per pick, not latched: a reused adversary driven over
+        // a different-sized algorithm gets that run's default valve,
+        // like the `last_picked` reset below.
+        let patience = self.patience.unwrap_or(4 * n + 4);
         // A pick at step 0 is the start of a (possibly new) run; stale
         // entries would make `waited` underflow on a reused scheduler.
         if self.last_picked.len() != n {
@@ -686,6 +694,86 @@ impl Scheduler for Script {
 
     fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
         self.picks.get(ctx.step).copied()
+    }
+}
+
+/// Records the picks an inner scheduler makes while delegating
+/// everything to it — the bridge from any *stateful* scheduling
+/// strategy (an adaptive adversary, a random search) back to a
+/// replayable [`Script`]: drive a `Traced` scheduler once, then replay
+/// [`picks`](Traced::picks) through any driver, including the
+/// streaming pricer, and get the identical run.
+///
+/// Follows the per-run reset convention of the module docs: a pick at
+/// step 0 starts a fresh trace, so a reused `Traced` records its
+/// latest run.
+///
+/// # Example
+///
+/// ```
+/// use exclusion_shmem::sched::{run_scheduler, GreedyAdversary, Script, Traced};
+/// use exclusion_shmem::testing::Alternator;
+///
+/// let alg = Alternator::new(3);
+/// let mut traced = Traced::new(GreedyAdversary::new());
+/// let exec = run_scheduler(&alg, &mut traced, 1, 100_000).unwrap();
+/// let replayed =
+///     run_scheduler(&alg, &mut Script::new(traced.into_picks()), 1, 100_000).unwrap();
+/// assert_eq!(replayed, exec);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Traced<S> {
+    inner: S,
+    picks: Vec<ProcessId>,
+}
+
+impl<S: Scheduler> Traced<S> {
+    /// Wraps `inner`, recording every pick it makes.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Traced {
+            inner,
+            picks: Vec::new(),
+        }
+    }
+
+    /// The picks recorded so far (this run's, after a reuse).
+    #[must_use]
+    pub fn picks(&self) -> &[ProcessId] {
+        &self.picks
+    }
+
+    /// Consumes the wrapper, returning the recorded picks.
+    #[must_use]
+    pub fn into_picks(self) -> Vec<ProcessId> {
+        self.picks
+    }
+
+    /// The wrapped scheduler.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for Traced<S> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn pick(&mut self, ctx: &SchedContext<'_>) -> Option<ProcessId> {
+        if ctx.step == 0 {
+            self.picks.clear();
+        }
+        let picked = self.inner.pick(ctx);
+        if let Some(p) = picked {
+            self.picks.push(p);
+        }
+        picked
+    }
+
+    fn wants_step_previews(&self) -> bool {
+        self.inner.wants_step_previews()
     }
 }
 
@@ -1112,6 +1200,25 @@ mod tests {
         // Reuse replays from the top (picks index on the step clock).
         let again = run_scheduler(&alg, &mut script, 2, 100_000).unwrap();
         assert_eq!(again, exec);
+    }
+
+    #[test]
+    fn traced_records_exactly_the_executed_picks_and_resets_per_run() {
+        let alg = Alternator::new(3);
+        let mut traced = Traced::new(GreedyAdversary::new());
+        let exec = run_scheduler(&alg, &mut traced, 2, 100_000).unwrap();
+        let expected: Vec<_> = exec.steps().iter().map(|s| s.pid()).collect();
+        assert_eq!(traced.picks(), &expected[..]);
+        assert_eq!(traced.name(), "greedy-adversary");
+        assert!(traced.wants_step_previews());
+        // Reuse records the latest run, not an accumulation.
+        let again = run_scheduler(&alg, &mut traced, 2, 100_000).unwrap();
+        assert_eq!(again, exec);
+        assert_eq!(traced.picks().len(), exec.len());
+        // The trace replays bit-identically.
+        let picks = traced.into_picks();
+        let replayed = run_scheduler(&alg, &mut Script::new(picks), 2, 100_000).unwrap();
+        assert_eq!(replayed, exec);
     }
 
     #[test]

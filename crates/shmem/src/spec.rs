@@ -172,23 +172,21 @@ impl Spec {
     /// (positional parameters are exempt; entries that do not take them
     /// should pass `allow_positional = false`).
     pub fn expect_params(&self, known: &[&str], allow_positional: bool) -> Result<(), SpecError> {
+        let unknown = |key: &str| SpecError::UnknownParam {
+            spec: self.label(),
+            key: key.to_string(),
+            known: known.iter().map(ToString::to_string).collect(),
+            suggestion: suggest(key, known.iter().copied()),
+        };
         for (k, v) in &self.params {
             if k.is_empty() {
                 if allow_positional {
                     continue;
                 }
-                return Err(SpecError::UnknownParam {
-                    spec: self.label(),
-                    key: v.clone(),
-                    known: known.iter().map(ToString::to_string).collect(),
-                });
+                return Err(unknown(v));
             }
             if !known.contains(&k.as_str()) {
-                return Err(SpecError::UnknownParam {
-                    spec: self.label(),
-                    key: k.clone(),
-                    known: known.iter().map(ToString::to_string).collect(),
-                });
+                return Err(unknown(k));
             }
         }
         Ok(())
@@ -234,6 +232,8 @@ pub enum SpecError {
         key: String,
         /// Keys the entry accepts.
         known: Vec<String>,
+        /// The closest accepted key, if within editing distance.
+        suggestion: Option<String>,
     },
     /// The entry exists but cannot run at the requested process count.
     TooFewProcesses {
@@ -275,8 +275,16 @@ impl fmt::Display for SpecError {
                 }
                 write!(f, "; known: {}", known.join(", "))
             }
-            SpecError::UnknownParam { spec, key, known } => {
+            SpecError::UnknownParam {
+                spec,
+                key,
+                known,
+                suggestion,
+            } => {
                 write!(f, "`{spec}`: unknown parameter `{key}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
                 if known.is_empty() {
                     write!(f, " (this entry takes no parameters)")
                 } else {
@@ -304,10 +312,17 @@ impl fmt::Display for SpecError {
 impl Error for SpecError {}
 
 /// The nearest candidate to `name` within a small edit distance — the
-/// "did you mean" behind registry errors. Ties go to the earlier
-/// candidate; `None` when nothing is close enough to help.
+/// "did you mean" behind registry errors (unknown entry names *and*
+/// unknown parameter keys). Ties go to the earlier candidate; `None`
+/// when nothing is close enough to help.
+///
+/// A `key=value` query is compared by its key part only: the value
+/// carries no signal about which key was meant, and counting it would
+/// both inflate the distance to the intended key and widen the
+/// length-proportional cutoff until arbitrary keys qualify.
 #[must_use]
 pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<String> {
+    let name = name.split_once('=').map_or(name, |(key, _)| key);
     let mut best: Option<(usize, &str)> = None;
     for c in candidates {
         let d = edit_distance(name, c);
@@ -403,6 +418,43 @@ mod tests {
         assert_eq!(suggest("petersen", names), Some("peterson".to_string()));
         assert_eq!(suggest("zzzzzz", names), None);
         assert_eq!(suggest("x", []), None);
+    }
+
+    #[test]
+    fn suggestions_score_key_value_queries_by_their_key() {
+        let keys = ["patience", "wave", "gap"];
+        // The `=value` tail neither inflates the distance to the
+        // intended key …
+        assert_eq!(
+            suggest("patiense=3", keys),
+            Some("patience".to_string()),
+            "distance must be 1 (patiense→patience), not 3"
+        );
+        assert_eq!(suggest("wavee=2", keys), Some("wave".to_string()));
+        // … nor widens the cutoff until junk qualifies: the key part
+        // `x` is one character, so nothing within distance 2 exists.
+        assert_eq!(suggest("x=999999999", keys), None);
+    }
+
+    #[test]
+    fn unknown_param_errors_suggest_the_nearest_key() {
+        let spec = Spec::parse("burst:wavee=2,gap=32").unwrap();
+        let err = spec.expect_params(&["wave", "gap"], false).unwrap_err();
+        let SpecError::UnknownParam { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), Some("wave"));
+        assert!(err.to_string().contains("did you mean `wave`?"), "{err}");
+
+        // A hopeless key still lists the accepted set, without a
+        // suggestion.
+        let spec = Spec::parse("burst:zzzzzz=1").unwrap();
+        let err = spec.expect_params(&["wave", "gap"], false).unwrap_err();
+        let SpecError::UnknownParam { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), None);
+        assert!(err.to_string().contains("accepted: wave, gap"), "{err}");
     }
 
     #[test]

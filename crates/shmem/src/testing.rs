@@ -40,6 +40,7 @@ pub mod fixtures {
             "round-robin".into(),
             "random".into(),
             "greedy-adversary".into(),
+            "fanlynch".into(),
             format!("burst:wave={},gap={}", n.div_ceil(2), 2 * n),
             format!("stagger:stride={}", 2 * n),
         ]

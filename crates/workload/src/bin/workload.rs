@@ -1,6 +1,7 @@
 //! The `workload` CLI: build a scenario grid, run a sharded sweep,
 //! print a summary table, and optionally write JSON/CSV reports — plus
-//! the `explore` subcommand for exhaustive small-`n` certification.
+//! the `explore` subcommand for exhaustive small-`n` certification and
+//! the `bound` subcommand for adaptive forced-cost curves.
 //!
 //! ```text
 //! workload                                  # default grid, all cores
@@ -11,6 +12,7 @@
 //! workload --list                           # both registries, with metadata
 //! workload explore --n 3 --model sc --json explore.json
 //! workload explore --algs broken --n 2      # catch the planted race
+//! workload bound --algs all --n 4..64       # force the Ω(n log n) bound
 //! ```
 //!
 //! Algorithms and schedulers are registry specs; unknown names fail
@@ -30,6 +32,7 @@ workload — adversarial scenario sweeps over the mutual exclusion suite
 USAGE:
     workload [OPTIONS]            sampled cost sweep (the default mode)
     workload explore [OPTIONS]    exhaustive exploration (see explore --help)
+    workload bound [OPTIONS]      adaptive forced-cost curves (see bound --help)
 
 OPTIONS:
     --algs A,B,...       algorithm specs to sweep (default:
@@ -505,10 +508,283 @@ fn run_explore(argv: &[String]) -> Result<(), String> {
     }
 }
 
+const BOUND_USAGE: &str = "\
+workload bound — play the adaptive lower-bound adversary game and
+report the forced cost per model, with a least-squares fit of the SC
+curve against the paper's c·n·log₂n growth law
+
+USAGE:
+    workload bound [OPTIONS]
+
+OPTIONS:
+    --algs A,B,...|all   algorithm specs to force (default: all — every
+                         registry entry)
+    --n LO..HI|N,M,...   the n grid: a doubling range (4..64 means
+                         4,8,16,32,64; the upper end is always
+                         included) or an explicit comma list
+                         (default: 4..64)
+    --passages P         passages per process (default: 1)
+    --seed S             adaptive tie-break seed (default: 0)
+    --patience K         starvation-valve threshold for both portfolio
+                         strategies (default: 4n+4)
+    --max-steps N        step budget per strategy run (default: 50000000)
+    --json PATH          write the JSON report (`-` for stdout)
+    --quiet              suppress the text table
+    --help               this text
+
+Exit status is nonzero when any game fails to complete within its step
+budget, when the forced cost falls below the greedy baseline anywhere
+(the adversary portfolio must dominate it), or when a completed SC
+curve does not fit c·n·log₂n with c > 0.
+";
+
+struct BoundArgs {
+    algs: Vec<String>,
+    ns: Vec<usize>,
+    json: Option<String>,
+    quiet: bool,
+    cfg: exclusion_bound::BoundConfig,
+}
+
+/// Parses the `--n` grid: `LO..HI` (doubling, upper end included) or an
+/// explicit comma list.
+fn parse_grid(s: &str) -> Result<Vec<usize>, String> {
+    let ns = if let Some((lo, hi)) = s.split_once("..") {
+        let lo: usize = lo.parse().map_err(|e| format!("--n: {e}"))?;
+        let hi: usize = hi.parse().map_err(|e| format!("--n: {e}"))?;
+        exclusion_bound::doubling_grid(lo, hi)
+    } else {
+        s.split(',')
+            .map(|part| part.parse().map_err(|e| format!("--n: {e}")))
+            .collect::<Result<Vec<usize>, String>>()?
+    };
+    if ns.is_empty() || ns.contains(&0) {
+        return Err(format!("--n: `{s}` is not a usable grid"));
+    }
+    Ok(ns)
+}
+
+fn parse_bound_args(argv: &[String]) -> Result<Option<BoundArgs>, String> {
+    let mut args = BoundArgs {
+        algs: Vec::new(),
+        ns: exclusion_bound::doubling_grid(4, 64),
+        json: None,
+        quiet: false,
+        cfg: exclusion_bound::BoundConfig::default(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algs" => args.algs.extend(split_specs(&value()?)),
+            "--n" => args.ns = parse_grid(&value()?)?,
+            "--passages" => {
+                args.cfg.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
+            }
+            "--seed" => args.cfg.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--patience" => {
+                args.cfg.patience = Some(value()?.parse().map_err(|e| format!("--patience: {e}"))?);
+            }
+            "--max-steps" => {
+                args.cfg.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--json" => args.json = Some(value()?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{BOUND_USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try bound --help)")),
+        }
+    }
+    if args.cfg.passages == 0 {
+        return Err("--passages must be positive".into());
+    }
+    if args.algs.is_empty() || args.algs.iter().any(|a| a == "all") {
+        args.algs = AlgorithmRegistry::global().names();
+    }
+    Ok(Some(args))
+}
+
+fn run_bound(argv: &[String]) -> Result<(), String> {
+    use exclusion_bound::{force_curve, BoundCurve, MODELS, SC};
+
+    let Some(args) = parse_bound_args(argv)? else {
+        return Ok(());
+    };
+    let registry = AlgorithmRegistry::global();
+    let mut curves: Vec<BoundCurve> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let start = std::time::Instant::now();
+    for spec in &args.algs {
+        let curve = force_curve(registry, spec, &args.ns, &args.cfg).map_err(|e| e.to_string())?;
+        for cell in &curve.cells {
+            if !cell.completed() {
+                failures.push(format!(
+                    "{} n={}: no strategy completed ({})",
+                    curve.algorithm,
+                    cell.n,
+                    cell.errors.join("; ")
+                ));
+                continue;
+            }
+            for (m, model) in MODELS.iter().enumerate() {
+                if cell.forced[m] < cell.greedy[m] {
+                    failures.push(format!(
+                        "{} n={} {model}: forced {} below greedy {}",
+                        curve.algorithm, cell.n, cell.forced[m], cell.greedy[m]
+                    ));
+                }
+            }
+        }
+        if curve
+            .cells
+            .iter()
+            .any(exclusion_bound::ForcedRun::completed)
+            && curve.fits[SC].c <= 0.0
+        {
+            failures.push(format!(
+                "{}: SC fit c = {} is not positive",
+                curve.algorithm, curve.fits[SC].c
+            ));
+        }
+        curves.push(curve);
+    }
+
+    if !args.quiet {
+        let mut rows: Vec<Vec<String>> = vec![[
+            "algorithm",
+            "n",
+            "steps",
+            "sc",
+            "sc-adapt",
+            "sc-greedy",
+            "cc",
+            "dsm",
+            "winner",
+            "note",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()];
+        for curve in &curves {
+            for cell in &curve.cells {
+                rows.push(vec![
+                    curve.algorithm.clone(),
+                    cell.n.to_string(),
+                    cell.steps.to_string(),
+                    cell.forced[0].to_string(),
+                    cell.adaptive[0].to_string(),
+                    cell.greedy[0].to_string(),
+                    cell.forced[1].to_string(),
+                    cell.forced[2].to_string(),
+                    cell.winner[SC].to_string(),
+                    cell.errors.join("; "),
+                ]);
+            }
+        }
+        let cols = rows[0].len();
+        print!(
+            "{}",
+            exclusion_workload::report::text_table(&rows, &[0, cols - 2, cols - 1])
+        );
+        for curve in &curves {
+            println!(
+                "{}: sc ≈ {:.2}·n·log₂n (r² {:.3}); cc c={:.2}, dsm c={:.2}",
+                curve.algorithm,
+                curve.fits[0].c,
+                curve.fits[0].r2,
+                curve.fits[1].c,
+                curve.fits[2].c
+            );
+        }
+        eprintln!(
+            "forced {} curves / {} games in {:.1} ms",
+            curves.len(),
+            curves.iter().map(|c| c.cells.len()).sum::<usize>(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    if let Some(path) = &args.json {
+        emit(path, "JSON report", &bound_json(&args, &curves))?;
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Hand-rolled JSON for the bound report, matching the house style of
+/// the sweep and explore reports. Witness schedules are summarized by
+/// length (they can run to millions of picks); replay them via the
+/// library API instead.
+fn bound_json(args: &BoundArgs, curves: &[exclusion_bound::BoundCurve]) -> String {
+    use exclusion_bound::{models_json, MODELS};
+    use exclusion_explore::report::json_escape;
+
+    let mut out = format!(
+        "{{\"schema\":\"exclusion-bound/v1\",\"passages\":{},\"seed\":{},\"max_steps\":{},\"grid\":{:?},\"curves\":[",
+        args.cfg.passages, args.cfg.seed, args.cfg.max_steps, args.ns
+    );
+    for (i, curve) in curves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"fits\":{{",
+            json_escape(&curve.algorithm)
+        );
+        for (m, model) in MODELS.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{model}\":{{\"c\":{:.6},\"r2\":{:.6}}}",
+                if m > 0 { "," } else { "" },
+                curve.fits[m].c,
+                curve.fits[m].r2
+            );
+        }
+        out.push_str("},\"cells\":[");
+        for (j, cell) in curve.cells.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let errors = cell
+                .errors
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = write!(
+                out,
+                "{{\"n\":{},\"steps\":{},\"schedule_len\":{},\"forced\":{{{}}},\"adaptive\":{{{}}},\"greedy\":{{{}}},\"winner\":\"{}\",\"errors\":[{errors}]}}",
+                cell.n,
+                cell.steps,
+                cell.schedule.len(),
+                models_json(&cell.forced),
+                models_json(&cell.adaptive),
+                models_json(&cell.greedy),
+                cell.winner[0],
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explore") {
         return run_explore(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bound") {
+        return run_bound(&argv[1..]);
     }
     let Some(args) = parse_args(&argv)? else {
         return Ok(());

@@ -10,8 +10,10 @@
 //!   `exclusion_mutex`'s open `AlgorithmRegistry`), a process count, a
 //!   passage target, a scheduling policy ([`SchedSpec`], resolved
 //!   against this crate's [`SchedulerRegistry`] — including the greedy
-//!   cost-maximizing adversary and burst/stagger arrival patterns),
-//!   and a seed grid. Resolution happens once, at build time: the
+//!   cost-maximizing adversary, the adaptive lower-bound adversary
+//!   `fanlynch` from `exclusion-bound`, and burst/stagger arrival
+//!   patterns), and a seed grid. Resolution happens once, at build
+//!   time: the
 //!   scenario carries live registry handles, and downstream crates can
 //!   sweep their own registered algorithms and schedulers through
 //!   [`ScenarioBuilder::build_with`];

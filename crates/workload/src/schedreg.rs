@@ -46,6 +46,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
+use exclusion_bound::AdaptiveAdversary;
 use exclusion_shmem::sched::{Burst, GreedyAdversary, Random, RoundRobin, Sequential, Stagger};
 use exclusion_shmem::spec::{suggest, ParamInfo, Spec, SpecError};
 use exclusion_shmem::{ProcessId, Scheduler};
@@ -166,11 +167,15 @@ impl SchedulerRegistry {
         SchedulerRegistry::default()
     }
 
-    /// The six built-in policies: `sequential` (alias `seq`),
+    /// The seven built-in policies: `sequential` (alias `seq`),
     /// `round-robin` (`rr`), `random`, `greedy-adversary` (`greedy`,
-    /// `adversary`; accepts `patience=K`), `burst` (`wave=W,gap=G`,
-    /// legacy `burst:WxG`; defaults scale with `n`), and `stagger`
-    /// (`stride=S`, legacy `stagger:S`; seeded arrival order).
+    /// `adversary`; accepts `patience=K`), `fanlynch` (`adaptive`,
+    /// `fan-lynch`; the adaptive lower-bound adversary of
+    /// `exclusion-bound`, accepts `patience=K` and a deterministic
+    /// tie-break `seed=S` — the sweep's seed grid is not used), `burst`
+    /// (`wave=W,gap=G`, legacy `burst:WxG`; defaults scale with `n`),
+    /// and `stagger` (`stride=S`, legacy `stagger:S`; seeded arrival
+    /// order).
     #[must_use]
     pub fn standard() -> Self {
         let mut reg = SchedulerRegistry::empty();
@@ -253,6 +258,50 @@ impl SchedulerRegistry {
                         ))
                     }
                 }
+            },
+        ));
+        reg.register(SchedulerEntry::new(
+            SchedulerInfo {
+                name: "fanlynch".into(),
+                aliases: vec!["adaptive".into(), "fan-lynch".into()],
+                summary: "adaptive lower-bound adversary (awareness-partition strategy)".into(),
+                seeded: false,
+                params: vec![
+                    ParamInfo {
+                        key: "patience",
+                        help: "starvation-valve threshold in picks (default 4n+4)",
+                    },
+                    ParamInfo {
+                        key: "seed",
+                        help: "tie-break seed (default 0); the sweep's seed grid is NOT used",
+                    },
+                ],
+            },
+            |spec, _n| {
+                // `seeded: false` is a contract: the policy must not
+                // read the per-run sweep seed (`effective_seeds()` runs
+                // it exactly once). Tie-break perturbation is therefore
+                // an explicit spec parameter, canonical in the label.
+                spec.expect_params(&["patience", "seed"], false)?;
+                let seed = spec.usize_param("seed", 0)? as u64;
+                let patience = spec
+                    .get("patience")
+                    .map(|_| spec.usize_param("patience", 0))
+                    .transpose()?;
+                let mut canonical = Spec::new("fanlynch");
+                if let Some(p) = patience {
+                    canonical = canonical.with("patience", p);
+                }
+                if spec.get("seed").is_some() {
+                    canonical = canonical.with("seed", seed);
+                }
+                let builder: SchedBuilder = Arc::new(move |_passages, _seed| {
+                    Box::new(match patience {
+                        Some(p) => AdaptiveAdversary::with_patience(seed, p),
+                        None => AdaptiveAdversary::new(seed),
+                    })
+                });
+                Ok((canonical, builder))
             },
         ));
         reg.register(SchedulerEntry::new(
@@ -468,7 +517,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_lists_six_policies() {
+    fn standard_registry_lists_seven_policies() {
         let reg = SchedulerRegistry::standard();
         assert_eq!(
             reg.names(),
@@ -477,12 +526,15 @@ mod tests {
                 "round-robin",
                 "random",
                 "greedy-adversary",
+                "fanlynch",
                 "burst",
                 "stagger"
             ]
         );
         assert!(reg.get("rr").is_some(), "aliases resolve");
         assert!(reg.get("greedy").is_some());
+        assert!(reg.get("adaptive").is_some());
+        assert!(reg.get("fan-lynch").is_some());
     }
 
     #[test]
@@ -527,6 +579,8 @@ mod tests {
             "rr",
             "random",
             "greedy",
+            "adaptive",
+            "fanlynch:patience=12",
             "burst:2x32",
             "stagger",
             "burst",
@@ -548,12 +602,90 @@ mod tests {
         else {
             panic!("{err}")
         };
-        assert_eq!(known.len(), 6);
+        assert_eq!(known.len(), 7);
         assert_eq!(suggestion.as_deref(), Some("greedy"));
         let err = SchedulerRegistry::global()
             .resolve_str("burst:wave=2,depth=9", 4)
             .unwrap_err();
         assert!(err.to_string().contains("wave, gap"), "{err}");
+    }
+
+    /// The satellite fix this PR ships: multi-word spec parameters get
+    /// useful parse errors — a typo'd *key* suggests the nearest
+    /// accepted key at its true (value-stripped) distance, and a
+    /// typo'd *name* with parameters attached still suggests the
+    /// nearest entry.
+    #[test]
+    fn key_value_typos_in_multi_word_specs_suggest_the_nearest_key() {
+        let reg = SchedulerRegistry::global();
+        let err = reg.resolve_str("fanlynch:patiense=3", 4).unwrap_err();
+        let SpecError::UnknownParam { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), Some("patience"));
+        assert!(
+            err.to_string().contains("did you mean `patience`?"),
+            "{err}"
+        );
+
+        let err = reg.resolve_str("burst:wavee=2,gap=32", 8).unwrap_err();
+        let SpecError::UnknownParam { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), Some("wave"));
+
+        // A misspelled *name* carrying multi-word parameters suggests
+        // the entry (aliases included in the candidate pool).
+        let err = reg.resolve_str("fanlynk:patience=3", 4).unwrap_err();
+        let SpecError::UnknownName { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), Some("fanlynch"));
+
+        // Hopeless keys list the accepted set without a junk
+        // suggestion.
+        let err = reg.resolve_str("fanlynch:zzzzzz=1", 4).unwrap_err();
+        let SpecError::UnknownParam { suggestion, .. } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(suggestion.as_deref(), None);
+        assert!(err.to_string().contains("accepted: patience"), "{err}");
+    }
+
+    #[test]
+    fn fanlynch_resolves_builds_and_honors_patience() {
+        let reg = SchedulerRegistry::global();
+        for alias in ["fanlynch", "adaptive", "fan-lynch"] {
+            let r = reg.resolve_str(alias, 4).unwrap();
+            assert_eq!(r.label, "fanlynch");
+            assert!(!r.seeded);
+            assert_eq!(r.build(1, 0).name(), "fanlynch");
+        }
+        let r = reg.resolve_str("fanlynch:patience=9", 4).unwrap();
+        assert_eq!(r.label, "fanlynch:patience=9");
+        assert_eq!(r.build(1, 7).name(), "fanlynch");
+        let r = reg.resolve_str("fanlynch:patience=9,seed=3", 4).unwrap();
+        assert_eq!(r.label, "fanlynch:patience=9,seed=3");
+    }
+
+    /// `seeded: false` is a behavioral contract, not just metadata:
+    /// the built scheduler must ignore the per-run sweep seed (the
+    /// tie-break seed is the explicit `seed=` parameter instead).
+    #[test]
+    fn fanlynch_ignores_the_sweep_seed() {
+        use exclusion_shmem::sched::run_scheduler;
+        use exclusion_shmem::testing::Alternator;
+        let reg = SchedulerRegistry::global();
+        let alg = Alternator::new(3);
+        let r = reg.resolve_str("fanlynch", 3).unwrap();
+        let a = run_scheduler(&alg, r.build(2, 5).as_mut(), 2, 100_000).unwrap();
+        let b = run_scheduler(&alg, r.build(2, 9).as_mut(), 2, 100_000).unwrap();
+        assert_eq!(a, b, "sweep seeds must not change the schedule");
+        // The spec-level seed is the supported perturbation knob.
+        let seeded = reg.resolve_str("fanlynch:seed=3", 3).unwrap();
+        assert_eq!(seeded.label, "fanlynch:seed=3");
+        let c = run_scheduler(&alg, seeded.build(2, 5).as_mut(), 2, 100_000).unwrap();
+        assert_eq!(a.critical_order().len(), c.critical_order().len());
     }
 
     #[test]
@@ -584,7 +716,7 @@ mod tests {
         );
         // …while the spelling "seq" now belongs to the new entry.
         assert_eq!(reg.resolve_str("seq", 4).unwrap().label, "seq");
-        assert_eq!(reg.names().len(), 7, "appended, not replaced");
+        assert_eq!(reg.names().len(), 8, "appended, not replaced");
         // And a new entry's alias cannot displace an existing name.
         reg.register(SchedulerEntry::new(
             SchedulerInfo {

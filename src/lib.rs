@@ -12,6 +12,11 @@
 //! * [`cost`] — the state-change (SC) cost model of Definition 3.1,
 //!   plus cache-coherent (CC) and distributed-shared-memory (DSM)
 //!   accounting;
+//! * [`bound`] — the adaptive lower-bound adversary: the paper's
+//!   information-theoretic strategy as an executable scheduler
+//!   (`fanlynch`), the `force` game driver, and forced-cost curves
+//!   fitted against `c·n·log₂n` at scales exhaustive search cannot
+//!   reach;
 //! * [`explore`] — bounded exhaustive state-space exploration:
 //!   certified mutual-exclusion and deadlock-freedom verdicts (with
 //!   replayable counterexamples for broken locks) and exact worst-case
@@ -56,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use exclusion_bound as bound;
 pub use exclusion_cost as cost;
 pub use exclusion_explore as explore;
 pub use exclusion_lb as lb;
