@@ -10,7 +10,9 @@
 //! small `n` and emits `BENCH_explore.json`; the `bench_bound` binary
 //! (module [`boundbench`]) plays the adaptive lower-bound adversary
 //! against the greedy baseline across the forced-cost grid and emits
-//! `BENCH_bound.json`.
+//! `BENCH_bound.json`; the `bench_trace` binary (module [`tracebench`])
+//! times the streaming pricer with the probe absent, disabled and
+//! collecting, gates the overhead, and emits `BENCH_trace.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -26,5 +28,6 @@ pub mod experiments;
 pub mod explorebench;
 pub mod sweepbench;
 pub mod table;
+pub mod tracebench;
 
 pub use table::Table;

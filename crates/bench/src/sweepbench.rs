@@ -193,7 +193,11 @@ fn scenarios_for(n: usize, sched: &SchedSpec, quick: bool) -> Vec<Scenario> {
 fn timed_sweep(scenarios: &[Scenario], record: bool) -> (SweepReport, u128) {
     // One worker thread: the benchmark measures the engines' compute,
     // not the thread pool.
-    let opts = SweepOptions { threads: 1, record };
+    let opts = SweepOptions {
+        threads: 1,
+        record,
+        ..SweepOptions::default()
+    };
     let mut best: Option<(SweepReport, u128)> = None;
     for _ in 0..REPS {
         let start = Instant::now();

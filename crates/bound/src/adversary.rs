@@ -60,6 +60,7 @@
 //! [`GreedyAdversary`]: exclusion_shmem::sched::GreedyAdversary
 //! [`System`]: exclusion_shmem::System
 
+use exclusion_shmem::probe::{NoProbe, Probe, TraceEvent};
 use exclusion_shmem::sched::{SchedContext, Scheduler};
 use exclusion_shmem::{CritKind, NextStep, ProcessId, RegisterId};
 
@@ -130,6 +131,17 @@ impl Partition {
 /// strategy). Registered in the scheduler registry as `fanlynch`, after
 /// the paper's authors.
 ///
+/// The probe parameter `P` defaults to [`NoProbe`], so the adversary is
+/// unobserved (and its instrumentation compiles away) unless
+/// [`with_probe`](AdaptiveAdversary::with_probe) attaches one; a probed
+/// adversary reports each strategy move as it happens —
+/// [`Harvest`](TraceEvent::Harvest) for rule 1,
+/// [`Reveal`](TraceEvent::Reveal) for rule 2, and
+/// [`Merge`](TraceEvent::Merge) whenever the awareness partition
+/// coarsens. The probe never influences a pick: probed and unprobed
+/// adversaries produce bit-identical schedules (pinned by
+/// `tests/trace_equivalence.rs`).
+///
 /// # Example
 ///
 /// ```
@@ -142,7 +154,7 @@ impl Partition {
 /// assert!(priced.sc.total() > 0);
 /// ```
 #[derive(Clone, Debug)]
-pub struct AdaptiveAdversary {
+pub struct AdaptiveAdversary<P: Probe = NoProbe> {
     tiebreak: u64,
     patience: Option<usize>,
     /// `last_picked[p]`: the step at which `p` was last scheduled —
@@ -159,6 +171,8 @@ pub struct AdaptiveAdversary {
     /// Scratch: pending readers per register this pick (the audience a
     /// write to the register would reveal to). Reused across picks.
     audience: Vec<usize>,
+    /// Observer of strategy moves; [`NoProbe`] by default.
+    probe: P,
 }
 
 impl AdaptiveAdversary {
@@ -174,6 +188,7 @@ impl AdaptiveAdversary {
             last_writer: Vec::new(),
             aware: Partition::default(),
             audience: Vec::new(),
+            probe: NoProbe,
         }
     }
 
@@ -186,6 +201,35 @@ impl AdaptiveAdversary {
         AdaptiveAdversary {
             patience: Some(patience),
             ..AdaptiveAdversary::new(seed)
+        }
+    }
+}
+
+impl<P: Probe> AdaptiveAdversary<P> {
+    /// Attaches `probe` to observe the adversary's strategy moves,
+    /// keeping all accumulated state. Typically used with a
+    /// [`SharedProbe`](exclusion_shmem::probe::SharedProbe) so the
+    /// pricing driver can observe the same run through the same probe
+    /// (as `force_probed` does).
+    #[must_use]
+    pub fn with_probe<Q: Probe>(self, probe: Q) -> AdaptiveAdversary<Q> {
+        let AdaptiveAdversary {
+            tiebreak,
+            patience,
+            last_picked,
+            last_writer,
+            aware,
+            audience,
+            probe: _,
+        } = self;
+        AdaptiveAdversary {
+            tiebreak,
+            patience,
+            last_picked,
+            last_writer,
+            aware,
+            audience,
+            probe,
         }
     }
 
@@ -208,31 +252,84 @@ impl AdaptiveAdversary {
         }
     }
 
+    /// Merges the reader's and writer's awareness groups, reporting a
+    /// fresh merge (the partition actually coarsened) to the probe.
+    fn merge_aware(&mut self, reader: ProcessId, writer: ProcessId, step: usize) {
+        let fresh = self.aware.find(reader.index()) != self.aware.find(writer.index());
+        self.aware.union(reader.index(), writer.index());
+        if fresh && self.probe.enabled() {
+            let merged = self.aware.group_size(reader.index());
+            let groups = self.groups();
+            self.probe.record(&TraceEvent::Merge {
+                index: step,
+                reader,
+                writer,
+                merged,
+                groups,
+            });
+        }
+    }
+
     /// Records the execution of `pid`'s previewed step `next` into the
     /// adversary's model of the run: writers become the last writer of
     /// their register, charged reads (and RMWs, which read too) merge
-    /// the reader's awareness group with the last writer's.
-    fn learn(&mut self, pid: ProcessId, next: NextStep, charged: bool) {
+    /// the reader's awareness group with the last writer's. Each rule
+    /// firing is reported to the probe with `step` as its pick index.
+    fn learn(&mut self, pid: ProcessId, next: NextStep, charged: bool, step: usize) {
         match next {
             NextStep::Read(reg) => {
                 self.ensure_register(reg);
                 if charged {
-                    if let Some(w) = self.last_writer[reg.index()] {
-                        self.aware.union(pid.index(), w.index());
+                    let writer = self.last_writer[reg.index()];
+                    if self.probe.enabled() {
+                        self.probe.record(&TraceEvent::Harvest {
+                            index: step,
+                            reader: pid,
+                            reg,
+                            writer,
+                        });
+                    }
+                    if let Some(w) = writer {
+                        self.merge_aware(pid, w, step);
                     }
                 }
             }
             NextStep::Rmw(reg, _) => {
                 self.ensure_register(reg);
                 if charged {
-                    if let Some(w) = self.last_writer[reg.index()] {
-                        self.aware.union(pid.index(), w.index());
+                    let writer = self.last_writer[reg.index()];
+                    if self.probe.enabled() {
+                        self.probe.record(&TraceEvent::Harvest {
+                            index: step,
+                            reader: pid,
+                            reg,
+                            writer,
+                        });
+                    }
+                    if let Some(w) = writer {
+                        self.merge_aware(pid, w, step);
+                    }
+                    if self.probe.enabled() {
+                        self.probe.record(&TraceEvent::Reveal {
+                            index: step,
+                            writer: pid,
+                            reg,
+                            audience: self.audience.get(reg.index()).copied().unwrap_or(0),
+                        });
                     }
                 }
                 self.last_writer[reg.index()] = Some(pid);
             }
             NextStep::Write(reg, _) => {
                 self.ensure_register(reg);
+                if charged && self.probe.enabled() {
+                    self.probe.record(&TraceEvent::Reveal {
+                        index: step,
+                        writer: pid,
+                        reg,
+                        audience: self.audience.get(reg.index()).copied().unwrap_or(0),
+                    });
+                }
                 self.last_writer[reg.index()] = Some(pid);
             }
             NextStep::Crit(_) => {}
@@ -240,7 +337,7 @@ impl AdaptiveAdversary {
     }
 }
 
-impl Scheduler for AdaptiveAdversary {
+impl<P: Probe> Scheduler for AdaptiveAdversary<P> {
     fn name(&self) -> String {
         "fanlynch".into()
     }
@@ -324,7 +421,7 @@ impl Scheduler for AdaptiveAdversary {
         // The driver will execute exactly the previewed step of the
         // process we return; fold it into the model now.
         let view = &ctx.views[picked.index()];
-        self.learn(picked, view.next, view.changes_state);
+        self.learn(picked, view.next, view.changes_state, ctx.step);
         Some(picked)
     }
 
@@ -385,6 +482,40 @@ mod tests {
         let order: Vec<_> = ProcessId::all(3).collect();
         let seq = exclusion_shmem::sched::run_sequential(&alg, &order, 100_000).unwrap();
         assert_eq!(adaptive.len(), seq.len());
+    }
+
+    #[test]
+    fn probed_adversary_matches_unprobed_and_reports_merges() {
+        use exclusion_mutex::Peterson;
+        struct Collect(Vec<TraceEvent>);
+        impl Probe for Collect {
+            fn record(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let alg = Peterson::new(4);
+        let plain = run_scheduler(&alg, &mut AdaptiveAdversary::new(0), 1, 1_000_000).unwrap();
+        let mut probe = Collect(Vec::new());
+        let mut probed = AdaptiveAdversary::new(0).with_probe(&mut probe);
+        let traced = run_scheduler(&alg, &mut probed, 1, 1_000_000).unwrap();
+        drop(probed);
+        // The probe observes; it never steers.
+        assert_eq!(plain, traced);
+        // Merges strictly coarsen the partition: group counts descend.
+        let groups: Vec<usize> = probe
+            .0
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Merge { groups, .. } => Some(*groups),
+                _ => None,
+            })
+            .collect();
+        assert!(!groups.is_empty(), "contended peterson must merge");
+        assert!(groups.windows(2).all(|w| w[1] < w[0]), "{groups:?}");
+        assert!(probe
+            .0
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Harvest { .. })));
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! replayable witness schedule; [`force_curve`] sweeps a grid of `n`
 //! and fits the paper's `c·n·log₂n` growth law.
 
-use exclusion_cost::{run_priced, PricedRun};
+use std::cell::RefCell;
+
+use exclusion_cost::{run_priced_probed, PricedRun};
 use exclusion_mutex::registry::AlgorithmRegistry;
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
+use exclusion_shmem::probe::{NoProbe, Probe, SharedProbe, SpanScope, TraceEvent};
 use exclusion_shmem::sched::{GreedyAdversary, Script, Traced};
 use exclusion_shmem::spec::SpecError;
 use exclusion_shmem::{ProcessId, Scheduler};
@@ -132,15 +135,42 @@ fn costs_of(priced: &PricedRun) -> [usize; 3] {
     [priced.sc.total(), priced.cc.total(), priced.dsm.total()]
 }
 
-fn play(
+fn play<P: Probe>(
     alg: &dyn DynAutomaton,
     sched: impl Scheduler,
     cfg: &BoundConfig,
+    probe: P,
 ) -> Result<(PricedRun, Vec<ProcessId>), String> {
     let mut traced = Traced::new(sched);
-    let priced = run_priced(&DynRef(alg), &mut traced, cfg.passages, cfg.max_steps)
-        .map_err(|e| e.to_string())?;
+    let priced = run_priced_probed(
+        &DynRef(alg),
+        &mut traced,
+        cfg.passages,
+        cfg.max_steps,
+        probe,
+    )
+    .map_err(|e| e.to_string())?;
     Ok((priced, traced.into_picks()))
+}
+
+/// Brackets one strategy run with a [`SpanScope::Game`] span (wall
+/// clock on the end event only — event equality ignores it).
+fn timed<P: Probe, T>(mut probe: P, tag: u32, run: impl FnOnce() -> T) -> T {
+    if !probe.enabled() {
+        return run();
+    }
+    let start = std::time::Instant::now();
+    probe.record(&TraceEvent::SpanStart {
+        scope: SpanScope::Game,
+        tag,
+    });
+    let out = run();
+    probe.record(&TraceEvent::SpanEnd {
+        scope: SpanScope::Game,
+        tag,
+        wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    });
+    out
 }
 
 /// Plays the adversary game for one algorithm instance: runs every
@@ -148,11 +178,32 @@ fn play(
 /// pass, and keeps the per-model best (see [`ForcedRun`]).
 #[must_use]
 pub fn force(alg: &dyn DynAutomaton, cfg: &BoundConfig) -> ForcedRun {
+    force_impl(alg, cfg, NoProbe)
+}
+
+/// [`force`] with a [`Probe`] observing the whole game: per-strategy
+/// [`SpanScope::Game`] spans, every step and cost charge of both
+/// priced runs, and the adaptive strategy's harvest/reveal/merge moves
+/// — one interleaved, deterministic event stream ([`force`] is this
+/// function with [`NoProbe`], so the unprobed game is unchanged).
+///
+/// The probe is shared between the adversary and the pricing driver
+/// through a [`SharedProbe`], which is why this entry takes `&mut dyn
+/// Probe` rather than being generic: both emitters hold a handle to
+/// the same cell for the duration of the game.
+#[must_use]
+pub fn force_probed(alg: &dyn DynAutomaton, cfg: &BoundConfig, probe: &mut dyn Probe) -> ForcedRun {
+    let cell = RefCell::new(probe);
+    force_impl(alg, cfg, SharedProbe::new(&cell))
+}
+
+fn force_impl<P: Probe + Copy>(alg: &dyn DynAutomaton, cfg: &BoundConfig, probe: P) -> ForcedRun {
     let n = alg.processes();
     let adaptive = match cfg.patience {
         None => AdaptiveAdversary::new(cfg.seed),
         Some(p) => AdaptiveAdversary::with_patience(cfg.seed, p),
-    };
+    }
+    .with_probe(probe);
     let greedy = match cfg.patience {
         None => GreedyAdversary::new(),
         Some(p) => GreedyAdversary::with_patience(p),
@@ -171,8 +222,14 @@ pub fn force(alg: &dyn DynAutomaton, cfg: &BoundConfig) -> ForcedRun {
     };
     let mut sc_best: Option<(usize, Vec<ProcessId>, usize)> = None;
     for (name, outcome) in [
-        ("fanlynch", play(alg, adaptive, cfg)),
-        ("greedy-adversary", play(alg, greedy, cfg)),
+        (
+            "fanlynch",
+            timed(probe, 0, || play(alg, adaptive, cfg, probe)),
+        ),
+        (
+            "greedy-adversary",
+            timed(probe, 1, || play(alg, greedy, cfg, probe)),
+        ),
     ] {
         match outcome {
             Ok((priced, picks)) => {
@@ -262,6 +319,7 @@ pub fn force_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use exclusion_cost::run_priced;
 
     #[test]
     fn forced_dominates_both_strategies_and_the_script_replays() {
@@ -294,6 +352,30 @@ mod tests {
             assert_eq!(priced.steps, run.steps, "{spec}");
             assert_eq!(priced.sc.total(), run.forced[SC], "{spec}");
         }
+    }
+
+    #[test]
+    fn probed_game_matches_unprobed_and_brackets_both_strategies() {
+        struct Collect(Vec<TraceEvent>);
+        impl Probe for Collect {
+            fn record(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let reg = AlgorithmRegistry::standard();
+        let alg = reg.resolve_str("peterson", 4).unwrap().automaton;
+        let cfg = BoundConfig::default();
+        let plain = force(alg.as_ref(), &cfg);
+        let mut probe = Collect(Vec::new());
+        let probed = force_probed(alg.as_ref(), &cfg, &mut probe);
+        assert_eq!(plain, probed);
+        let count = |f: fn(&TraceEvent) -> bool| probe.0.iter().filter(|ev| f(ev)).count();
+        // One span per portfolio strategy, properly paired.
+        assert_eq!(count(|ev| matches!(ev, TraceEvent::SpanStart { .. })), 2);
+        assert_eq!(count(|ev| matches!(ev, TraceEvent::SpanEnd { .. })), 2);
+        // The stream interleaves driver and adversary events.
+        assert!(count(|ev| matches!(ev, TraceEvent::Charged { .. })) > 0);
+        assert!(count(|ev| matches!(ev, TraceEvent::Merge { .. })) > 0);
     }
 
     #[test]

@@ -62,5 +62,6 @@ pub mod force;
 pub use adversary::AdaptiveAdversary;
 pub use fit::{doubling_grid, fit_nlogn, nlogn, Fit};
 pub use force::{
-    force, force_curve, models_json, register_only, BoundConfig, BoundCurve, ForcedRun, MODELS, SC,
+    force, force_curve, force_probed, models_json, register_only, BoundConfig, BoundCurve,
+    ForcedRun, MODELS, SC,
 };

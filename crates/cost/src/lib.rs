@@ -66,6 +66,7 @@
 // importing the trait alongside `Automaton` would make method calls on
 // types implementing both (i.e. every automaton) ambiguous.
 use exclusion_shmem::dynamic::{self, DynRef};
+use exclusion_shmem::probe::{NoProbe, Probe, TraceEvent};
 use exclusion_shmem::sched::run_scheduler_with;
 use exclusion_shmem::{
     replay, Automaton, Executed, Execution, ProcessId, RegisterId, ReplayError, RunError,
@@ -322,6 +323,54 @@ impl CostTracker {
         }
     }
 
+    /// Prices one executed step and reports it to `probe`: an
+    /// [`Executed`](TraceEvent::Executed) event for every step, plus a
+    /// [`Charged`](TraceEvent::Charged) event carrying the per-model
+    /// deltas when any model charged. With a disabled probe this is
+    /// exactly [`observe`](CostTracker::observe) — no event is even
+    /// constructed.
+    pub fn observe_probed<P: Probe + ?Sized>(&mut self, done: &Executed, probe: &mut P) {
+        if !probe.enabled() {
+            self.observe(done);
+            return;
+        }
+        let pid = done.step.pid();
+        // Every model charges only the acting process, so per-step
+        // deltas are two O(1) reads around the observe.
+        let before = (
+            self.sc.process(pid),
+            self.cc.process(pid),
+            self.dsm.process(pid),
+        );
+        self.observe(done);
+        let index = self.clock - 1;
+        probe.record(&TraceEvent::Executed {
+            index,
+            pid,
+            ty: done.step.step_type(),
+            reg: done.step.register(),
+            state_changed: done.state_changed,
+        });
+        let (sc, cc, dsm) = (
+            (self.sc.process(pid) - before.0) as u8,
+            (self.cc.process(pid) - before.1) as u8,
+            (self.dsm.process(pid) - before.2) as u8,
+        );
+        if sc + cc + dsm > 0 {
+            // Only shared-memory steps charge, so the register exists.
+            if let Some(reg) = done.step.register() {
+                probe.record(&TraceEvent::Charged {
+                    index,
+                    pid,
+                    reg,
+                    sc,
+                    cc,
+                    dsm,
+                });
+            }
+        }
+    }
+
     /// Steps priced so far.
     #[must_use]
     pub fn steps(&self) -> usize {
@@ -387,9 +436,35 @@ where
     A: Automaton,
     S: Scheduler + ?Sized,
 {
+    run_priced_probed(alg, sched, passages, max_steps, NoProbe)
+}
+
+/// [`run_priced`] with a [`Probe`] observing the run: one
+/// [`Executed`](TraceEvent::Executed) event per step and one
+/// [`Charged`](TraceEvent::Charged) event per charged step, in step
+/// order. [`run_priced`] is this function monomorphized with
+/// [`NoProbe`], so the unprobed hot path is unchanged (the overhead
+/// bound is pinned by `bench_trace`).
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the scheduler keeps picking processes past
+/// `max_steps`.
+pub fn run_priced_probed<A, S, P>(
+    alg: &A,
+    sched: &mut S,
+    passages: usize,
+    max_steps: usize,
+    mut probe: P,
+) -> Result<PricedRun, RunError>
+where
+    A: Automaton,
+    S: Scheduler + ?Sized,
+    P: Probe,
+{
     let mut tracker = CostTracker::new(alg);
     let steps = run_scheduler_with(alg, sched, passages, max_steps, |done| {
-        tracker.observe(done);
+        tracker.observe_probed(done, &mut probe);
     })?;
     let (sc, cc, dsm) = tracker.into_reports();
     Ok(PricedRun { steps, sc, cc, dsm })
@@ -593,6 +668,51 @@ mod tests {
         let alg = Bakery::new(4);
         let err = run_priced(&alg, &mut RoundRobin::new(), 1, 3).unwrap_err();
         assert_eq!(err.limit, 3);
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_and_emits_charges() {
+        use exclusion_shmem::sched::GreedyAdversary;
+        struct Collect(Vec<TraceEvent>);
+        impl Probe for Collect {
+            fn record(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let alg = Peterson::new(3);
+        let unprobed = run_priced(&alg, &mut GreedyAdversary::new(), 2, 100_000).unwrap();
+        let mut collect = Collect(Vec::new());
+        let probed =
+            run_priced_probed(&alg, &mut GreedyAdversary::new(), 2, 100_000, &mut collect).unwrap();
+        assert_eq!(unprobed, probed);
+        // One Executed event per step, in step order.
+        let executed: Vec<usize> = collect
+            .0
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::Executed { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(executed, (0..probed.steps).collect::<Vec<_>>());
+        // Charged deltas re-add to the reports' totals.
+        let (mut sc, mut cc, mut dsm) = (0usize, 0usize, 0usize);
+        for ev in &collect.0 {
+            if let TraceEvent::Charged {
+                sc: s,
+                cc: c,
+                dsm: d,
+                ..
+            } = ev
+            {
+                sc += usize::from(*s);
+                cc += usize::from(*c);
+                dsm += usize::from(*d);
+            }
+        }
+        assert_eq!(sc, probed.sc.total());
+        assert_eq!(cc, probed.cc.total());
+        assert_eq!(dsm, probed.dsm.total());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef, DynState};
+use exclusion_shmem::probe::{Probe, TraceEvent};
 use exclusion_shmem::{Executed, ProcessId, Snapshot, System};
 
 use crate::ExploreConfig;
@@ -169,6 +170,12 @@ pub(crate) struct BuiltGraph {
     pub truncated: bool,
     /// Violating nodes discovered in the first layer that has any.
     pub violations: Vec<u32>,
+    /// Transposition-table hits over the whole build: insert calls that
+    /// found an already interned state. Worker-count independent for
+    /// untruncated builds (a truncation aborts workers mid-layer).
+    pub dedup_hits: usize,
+    /// Largest BFS frontier over the whole build.
+    pub peak_frontier: usize,
 }
 
 /// Which nodes can reach a goal node — backward reachability over
@@ -355,11 +362,17 @@ fn resolved_workers(cfg: &ExploreConfig) -> usize {
 /// violation is at minimal depth; deeper layers are not explored (the
 /// graph is partial, which is why the progress analyses only run on
 /// violation-free graphs).
-pub(crate) fn build<L: CostLens>(
+///
+/// `probe` observes the build as one [`TraceEvent::Layer`] per
+/// barrier-merged BFS layer, emitted on the coordinator thread after
+/// the barrier — so the event stream, like the graph itself, is
+/// independent of the worker count.
+pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
     alg: &(dyn DynAutomaton + Sync),
     lens: &L,
     cfg: &ExploreConfig,
     stop_on_violation: bool,
+    probe: &mut P,
 ) -> BuiltGraph {
     assert!(cfg.passages >= 1, "exploration needs a passage target");
     let n = alg.processes();
@@ -402,10 +415,13 @@ pub(crate) fn build<L: CostLens>(
 
     let mut frontier: Vec<(u32, Snap, L::Digest)> = vec![(root, root_snap, root_digest)];
     let mut depth = 0u32;
+    let mut dedup_hits = 0usize;
+    let mut peak_frontier = 0usize;
     loop {
         if frontier.is_empty() || stop.load(Ordering::Relaxed) {
             break;
         }
+        peak_frontier = peak_frontier.max(frontier.len());
         if cfg.max_depth.is_some_and(|d| depth as usize >= d) {
             let cut = frontier
                 .iter()
@@ -417,6 +433,8 @@ pub(crate) fn build<L: CostLens>(
         }
         let cursor = AtomicUsize::new(0);
         let layer = &frontier;
+        let states_before = table.count.load(Ordering::Relaxed);
+        let layer_inserts = AtomicUsize::new(0);
         let mut next: Vec<(u32, Snap, L::Digest)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers.min(layer.len().div_ceil(CHUNK)).max(1))
@@ -424,6 +442,7 @@ pub(crate) fn build<L: CostLens>(
                     scope.spawn(|| {
                         let dref = DynRef(alg);
                         let mut local = Vec::new();
+                        let mut inserts = 0usize;
                         'pull: loop {
                             let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                             if start >= layer.len() || stop.load(Ordering::Relaxed) {
@@ -463,6 +482,7 @@ pub(crate) fn build<L: CostLens>(
                                             succs: Vec::new(),
                                         },
                                     );
+                                    inserts += 1;
                                     succs.push((p, tid, cost));
                                     if fresh {
                                         if violating {
@@ -488,6 +508,7 @@ pub(crate) fn build<L: CostLens>(
                                 table.set_succs(*id, succs);
                             }
                         }
+                        layer_inserts.fetch_add(inserts, Ordering::Relaxed);
                         local
                     })
                 })
@@ -496,6 +517,22 @@ pub(crate) fn build<L: CostLens>(
                 next.append(&mut h.join().expect("explorer worker panicked"));
             }
         });
+        let states_after = table.count.load(Ordering::Relaxed);
+        let fresh = states_after - states_before;
+        let inserts = layer_inserts.into_inner();
+        dedup_hits += inserts - fresh;
+        if probe.enabled() {
+            // Emitted after the barrier, single-threaded: layer totals
+            // (and so the whole stream) are worker-count independent
+            // for untruncated builds.
+            probe.record(&TraceEvent::Layer {
+                depth: depth + 1,
+                expanded: layer.len(),
+                fresh,
+                dedup: inserts - fresh,
+                states: states_after,
+            });
+        }
         // A truncation stop aborts mid-layer, so the partially merged
         // layer does not count as a depth; a completed layer does.
         if !next.is_empty() && !stop.load(Ordering::Relaxed) {
@@ -521,5 +558,7 @@ pub(crate) fn build<L: CostLens>(
         depth,
         truncated: truncated.into_inner(),
         violations,
+        dedup_hits,
+        peak_frontier,
     }
 }

@@ -72,9 +72,34 @@ use std::sync::Arc;
 
 use exclusion_mutex::broken::RacyBool;
 use exclusion_mutex::registry::{AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry};
+use exclusion_shmem::probe::{NoProbe, Probe, SpanScope, TraceEvent};
 
-pub use verdict::{explore, Counterexample, ExploreReport, Hazard, HazardKind};
-pub use worst::{price_schedule, worst_case, WorstCaseReport, WorstCost};
+pub use verdict::{explore, explore_probed, Counterexample, ExploreReport, Hazard, HazardKind};
+pub use worst::{price_schedule, worst_case, worst_case_probed, WorstCaseReport, WorstCost};
+
+/// Runs `f` inside a probe span: `SpanStart { scope, tag }` before,
+/// `SpanEnd { scope, tag, wall_ns }` after, with the wall clock read
+/// only when the probe is enabled so unprobed passes never touch
+/// `Instant::now()`.
+pub(crate) fn spanned<T>(
+    probe: &mut dyn Probe,
+    scope: SpanScope,
+    tag: u32,
+    f: impl FnOnce(&mut dyn Probe) -> T,
+) -> T {
+    if !probe.enabled() {
+        return f(probe);
+    }
+    let start = std::time::Instant::now();
+    probe.record(&TraceEvent::SpanStart { scope, tag });
+    let out = f(probe);
+    probe.record(&TraceEvent::SpanEnd {
+        scope,
+        tag,
+        wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    });
+    out
+}
 
 /// Which cost model a worst-case search maximizes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -195,20 +220,40 @@ pub fn analyze(
     model: Model,
     cfg: &ExploreConfig,
 ) -> (ExploreReport, Option<WorstCaseReport>) {
+    analyze_probed(alg, model, cfg, &mut NoProbe)
+}
+
+/// [`analyze`] with a [`Probe`] observing both passes: layer events from
+/// each graph build, pump events from the worst-case search, and
+/// [`SpanScope::Explore`]/[`SpanScope::Worst`] spans around the
+/// certification and worst-case phases ([`analyze`] is this function
+/// with [`NoProbe`], leaving the unprobed pass unchanged).
+#[must_use]
+pub fn analyze_probed(
+    alg: &(dyn exclusion_shmem::DynAutomaton + Sync),
+    model: Model,
+    cfg: &ExploreConfig,
+    probe: &mut dyn Probe,
+) -> (ExploreReport, Option<WorstCaseReport>) {
     if model == Model::Sc {
         // One graph serves both: build without the violation halt so
         // the worst-case search sees the complete bounded space. The
         // backward-reachability live set is shared the same way.
-        let g = graph::build(alg, &graph::ScLens, cfg, false);
+        let g = spanned(probe, SpanScope::Explore, alg.processes() as u32, |probe| {
+            graph::build(alg, &graph::ScLens, cfg, false, probe)
+        });
         let live = (!g.truncated && g.violations.is_empty()).then(|| graph::live_set(&g));
         let report = verdict::report_from_graph(alg, &g, cfg, live.as_deref());
-        let worst = (report.violation.is_none() && !report.truncated)
-            .then(|| worst::worst_from_graph(alg, &g, Model::Sc, cfg, live.as_deref()));
+        let worst = (report.violation.is_none() && !report.truncated).then(|| {
+            spanned(probe, SpanScope::Worst, 0, |probe| {
+                worst::worst_from_graph(alg, &g, Model::Sc, cfg, live.as_deref(), probe)
+            })
+        });
         (report, worst)
     } else {
-        let report = explore(alg, cfg);
-        let worst =
-            (report.violation.is_none() && !report.truncated).then(|| worst_case(alg, model, cfg));
+        let report = explore_probed(alg, cfg, probe);
+        let worst = (report.violation.is_none() && !report.truncated)
+            .then(|| worst_case_probed(alg, model, cfg, probe));
         (report, worst)
     }
 }

@@ -40,7 +40,8 @@ pub fn explore_json(r: &ExploreReport) -> String {
     let _ = write!(
         out,
         "{{\"algorithm\":\"{}\",\"n\":{},\"passages\":{},\"states\":{},\"edges\":{},\
-         \"depth\":{},\"truncated\":{},\"certified_safe\":{},\"certified_deadlock_free\":{},",
+         \"depth\":{},\"truncated\":{},\"dedup_hits\":{},\"dedup_ratio\":{:.4},\
+         \"peak_frontier\":{},\"certified_safe\":{},\"certified_deadlock_free\":{},",
         esc(&r.algorithm),
         r.n,
         r.passages,
@@ -48,6 +49,9 @@ pub fn explore_json(r: &ExploreReport) -> String {
         r.edges,
         r.depth,
         r.truncated,
+        r.dedup_hits,
+        r.dedup_ratio(),
+        r.peak_frontier,
         r.certified_safe(),
         r.certified_deadlock_free(),
     );
@@ -153,6 +157,9 @@ mod tests {
             );
         }
         assert!(good.contains("\"certified_safe\":true"));
+        assert!(good.contains("\"dedup_hits\":"));
+        assert!(good.contains("\"dedup_ratio\":"));
+        assert!(good.contains("\"peak_frontier\":"));
         assert!(bad.contains("\"violation\":{"));
         assert!(bad.contains("\"culprits\":["));
         assert!(worst.contains("\"model\":\"sc\""));

@@ -18,6 +18,7 @@
 //!   bounds.
 
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
+use exclusion_shmem::probe::{NoProbe, Probe, SpanScope};
 use exclusion_shmem::{Execution, ProcessId, System};
 
 use crate::graph::{build, live_set, BuiltGraph, ScLens};
@@ -88,6 +89,16 @@ pub struct ExploreReport {
     /// Whether `max_states`/`max_depth` cut exploration short — if so,
     /// the absence of a violation or hazard is *not* a certification.
     pub truncated: bool,
+    /// Transposition-table dedup hits: insert attempts that found an
+    /// already interned state. `states + dedup_hits` is the total
+    /// insert traffic, so reports quantify how much sharing the
+    /// canonical snapshot space has — comparable across machines, since
+    /// the counts are worker-count independent (untruncated builds).
+    pub dedup_hits: usize,
+    /// Largest BFS frontier the build held at a barrier — the
+    /// explorer's peak working set, the capacity number BENCH_explore
+    /// runs are sized by.
+    pub peak_frontier: usize,
     /// A minimal-depth mutual exclusion violation, if one is reachable.
     pub violation: Option<Counterexample>,
     /// A progress hazard, if one is reachable (only computed when the
@@ -109,6 +120,18 @@ impl ExploreReport {
     #[must_use]
     pub fn certified_deadlock_free(&self) -> bool {
         self.certified_safe() && self.hazard.is_none()
+    }
+
+    /// Fraction of insert traffic answered by the transposition table:
+    /// `dedup_hits / (states + dedup_hits)`, 0 for an empty build.
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        let total = self.states + self.dedup_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / total as f64
+        }
     }
 }
 
@@ -139,7 +162,23 @@ impl ExploreReport {
 /// ```
 #[must_use]
 pub fn explore(alg: &(dyn DynAutomaton + Sync), cfg: &ExploreConfig) -> ExploreReport {
-    let graph = build(alg, &ScLens, cfg, true);
+    explore_probed(alg, cfg, &mut NoProbe)
+}
+
+/// [`explore`] with a [`Probe`] observing the build: a
+/// [`SpanScope::Explore`] span around the whole pass and one
+/// layer event per barrier-merged BFS layer, emitted single-threaded so
+/// the stream is worker-count independent ([`explore`] is this function
+/// with [`NoProbe`], leaving the unprobed pass unchanged).
+#[must_use]
+pub fn explore_probed(
+    alg: &(dyn DynAutomaton + Sync),
+    cfg: &ExploreConfig,
+    probe: &mut dyn Probe,
+) -> ExploreReport {
+    let graph = crate::spanned(probe, SpanScope::Explore, alg.processes() as u32, |probe| {
+        build(alg, &ScLens, cfg, true, probe)
+    });
     report_from_graph(alg, &graph, cfg, None)
 }
 
@@ -161,6 +200,8 @@ pub(crate) fn report_from_graph(
         edges: graph.edges,
         depth: graph.depth as usize,
         truncated: graph.truncated,
+        dedup_hits: graph.dedup_hits,
+        peak_frontier: graph.peak_frontier,
         violation: None,
         hazard: None,
     };

@@ -42,6 +42,7 @@
 
 use exclusion_cost::CostTracker;
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
+use exclusion_shmem::probe::{NoProbe, Probe, SpanScope, TraceEvent};
 use exclusion_shmem::sched::GreedyAdversary;
 use exclusion_shmem::{ProcessId, System};
 
@@ -134,11 +135,32 @@ pub fn worst_case(
     model: Model,
     cfg: &ExploreConfig,
 ) -> WorstCaseReport {
-    match model {
-        Model::Sc => worst_with(alg, &ScLens, model, cfg),
-        Model::Cc => worst_with(alg, &CcLens, model, cfg),
-        Model::Dsm => worst_with(alg, &DsmLens::new(alg), model, cfg),
-    }
+    worst_case_probed(alg, model, cfg, &mut NoProbe)
+}
+
+/// [`worst_case`] with a [`Probe`] observing the search: a
+/// [`SpanScope::Worst`] span around the whole pass (tagged with the
+/// model's [`MODELS`](crate::Model)-order index), one layer event per
+/// BFS layer of the product-graph build, and a pump event if the
+/// condensation finds a positive cycle ([`worst_case`] is this function
+/// with [`NoProbe`]).
+#[must_use]
+pub fn worst_case_probed(
+    alg: &(dyn DynAutomaton + Sync),
+    model: Model,
+    cfg: &ExploreConfig,
+    probe: &mut dyn Probe,
+) -> WorstCaseReport {
+    let tag = match model {
+        Model::Sc => 0,
+        Model::Cc => 1,
+        Model::Dsm => 2,
+    };
+    crate::spanned(probe, SpanScope::Worst, tag, |probe| match model {
+        Model::Sc => worst_with(alg, &ScLens, model, cfg, probe),
+        Model::Cc => worst_with(alg, &CcLens, model, cfg, probe),
+        Model::Dsm => worst_with(alg, &DsmLens::new(alg), model, cfg, probe),
+    })
 }
 
 fn worst_with<L: CostLens>(
@@ -146,9 +168,10 @@ fn worst_with<L: CostLens>(
     lens: &L,
     model: Model,
     cfg: &ExploreConfig,
+    probe: &mut dyn Probe,
 ) -> WorstCaseReport {
-    let graph = build(alg, lens, cfg, false);
-    worst_from_graph(alg, &graph, model, cfg, None)
+    let graph = build(alg, lens, cfg, false, probe);
+    worst_from_graph(alg, &graph, model, cfg, None, probe)
 }
 
 /// The exact search on an already-built (product) graph — shared by
@@ -161,6 +184,7 @@ pub(crate) fn worst_from_graph(
     model: Model,
     cfg: &ExploreConfig,
     live: Option<&[bool]>,
+    probe: &mut dyn Probe,
 ) -> WorstCaseReport {
     let incumbent = greedy_incumbent(alg, model, cfg);
     let mut report = WorstCaseReport {
@@ -189,6 +213,12 @@ pub(crate) fn worst_from_graph(
 
     // Unbounded: a positive edge inside an SCC that can still complete.
     if let Some((u, p, v)) = scc.pump_edge(graph, live) {
+        if probe.enabled() {
+            probe.record(&TraceEvent::Pump {
+                depth: graph.nodes[u as usize].depth,
+                scc: scc.members[scc.comp[u as usize]].len(),
+            });
+        }
         report.cost = WorstCost::Unbounded {
             prefix: graph.schedule_to(u),
             cycle: pump_cycle(graph, &scc, u, p, v),

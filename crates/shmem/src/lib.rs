@@ -31,7 +31,11 @@
 //!   and [`DynRef`] bridging erased algorithms back into the generic
 //!   drivers — the foundation of the open algorithm/scheduler registries;
 //! * [`spec`] — the `name:key=value,…` spec grammar those registries
-//!   share.
+//!   share;
+//! * [`probe`] — the observability core: the structured [`TraceEvent`]
+//!   vocabulary and the zero-overhead-when-off [`Probe`] trait every
+//!   engine above this crate emits events through (collectors and
+//!   exporters live in `exclusion-trace`).
 //!
 //! # Example
 //!
@@ -56,6 +60,7 @@ pub mod dynamic;
 pub mod error;
 pub mod execution;
 pub mod ids;
+pub mod probe;
 pub mod replay;
 pub mod sched;
 pub mod spec;
@@ -68,6 +73,7 @@ pub use dynamic::{DynAutomaton, DynRef, DynState, Packed, WordState};
 pub use error::{ReplayError, RunError};
 pub use execution::Execution;
 pub use ids::{ProcessId, RegisterId, Value};
+pub use probe::{NoProbe, Probe, SharedProbe, SpanScope, TraceEvent};
 pub use replay::{replay, replay_collect, StepOutcome};
 pub use sched::{ProcessView, SchedContext, Scheduler, ViewTable};
 pub use spec::{ParamInfo, Spec, SpecError};

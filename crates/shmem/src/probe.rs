@@ -1,0 +1,503 @@
+//! The observability core: structured [`TraceEvent`]s and the
+//! [`Probe`] trait every engine emits them through.
+//!
+//! This module is deliberately tiny — just the event vocabulary and the
+//! trait — because it sits below every engine that emits events: the
+//! streaming pricer (`exclusion-cost`), the adaptive adversary
+//! (`exclusion-bound`), the exhaustive explorer (`exclusion-explore`)
+//! and the sweep runner (`exclusion-workload`). The collectors,
+//! aggregators and exporters built on top live in `exclusion-trace`.
+//!
+//! # Zero overhead when off
+//!
+//! Every emitting driver is generic over `P: Probe` and defaults to
+//! [`NoProbe`], whose methods are empty `#[inline]` bodies and whose
+//! [`enabled`](Probe::enabled) returns `false`. Emitters guard event
+//! construction with `enabled()`, so with `NoProbe` the whole
+//! instrumentation monomorphizes away — the unprobed entry points
+//! (`run_priced`, `force`, `explore`) compile to the same hot loop they
+//! had before the probe layer existed, pinned by `bench_trace`.
+
+use std::cell::RefCell;
+
+use crate::ids::{ProcessId, RegisterId};
+use crate::step::StepType;
+
+/// What phase of which engine a [`TraceEvent::SpanStart`]/
+/// [`TraceEvent::SpanEnd`] pair brackets.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpanScope {
+    /// One strategy run of a `force()` adversary game. The tag is the
+    /// portfolio index (0 = adaptive, 1 = greedy).
+    Game,
+    /// One bounded exhaustive exploration pass. The tag is `n`.
+    Explore,
+    /// One exact worst-case search. The tag is the cost-model index in
+    /// `MODELS` order (0 = SC, 1 = CC, 2 = DSM).
+    Worst,
+    /// One priced run of a sweep grid. The tag is the grid index.
+    Run,
+}
+
+impl SpanScope {
+    /// All scopes, in a fixed order usable as an array index.
+    pub const ALL: [SpanScope; 4] = [
+        SpanScope::Game,
+        SpanScope::Explore,
+        SpanScope::Worst,
+        SpanScope::Run,
+    ];
+
+    /// Position of this scope in [`SpanScope::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SpanScope::Game => 0,
+            SpanScope::Explore => 1,
+            SpanScope::Worst => 2,
+            SpanScope::Run => 3,
+        }
+    }
+
+    /// The scope's stable label, used by exporters and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanScope::Game => "game",
+            SpanScope::Explore => "explore",
+            SpanScope::Worst => "worst",
+            SpanScope::Run => "run",
+        }
+    }
+}
+
+/// One structured observability event, emitted by an engine into a
+/// [`Probe`].
+///
+/// Events are plain `Copy` data — no strings, no boxes — so emitting
+/// one is a stack write, and a collecting probe can store the stream
+/// verbatim. Every field except [`SpanEnd`](TraceEvent::SpanEnd)'s
+/// `wall_ns` is a pure function of the run being observed, and
+/// equality ignores `wall_ns`, so two traces of the same deterministic
+/// run compare equal across machines and worker counts.
+#[derive(Clone, Copy, Debug)]
+pub enum TraceEvent {
+    /// One executed step of a priced run (from the streaming cost pass).
+    Executed {
+        /// 0-based step index within the run.
+        index: usize,
+        /// The acting process.
+        pid: ProcessId,
+        /// The step's coarse type.
+        ty: StepType,
+        /// The register accessed, for shared-memory steps.
+        reg: Option<RegisterId>,
+        /// Whether the acting process's state changed — the SC charge
+        /// condition of Definition 3.1.
+        state_changed: bool,
+    },
+    /// A step that was charged under at least one cost model, with the
+    /// per-model deltas (each 0 or 1 — every model charges at most one
+    /// unit per step).
+    Charged {
+        /// 0-based step index within the run.
+        index: usize,
+        /// The charged process.
+        pid: ProcessId,
+        /// The register whose access was charged.
+        reg: RegisterId,
+        /// State-change (SC) delta.
+        sc: u8,
+        /// Cache-coherent (CC) delta.
+        cc: u8,
+        /// Distributed-shared-memory (DSM) delta.
+        dsm: u8,
+    },
+    /// The adaptive adversary merged two awareness groups: a scheduled
+    /// charged read observed a scheduled write, so reader and writer
+    /// now (transitively) know each other — the unit of progress in the
+    /// paper's encoding argument.
+    Merge {
+        /// The pick index (scheduler step) at which the merge happened.
+        index: usize,
+        /// The reading process.
+        reader: ProcessId,
+        /// The last writer of the read register.
+        writer: ProcessId,
+        /// Size of the merged group.
+        merged: usize,
+        /// Awareness groups remaining after the merge.
+        groups: usize,
+    },
+    /// The adaptive adversary harvested a charged read (rule 1: reads
+    /// before any write can clobber the value they are about to
+    /// observe).
+    Harvest {
+        /// The pick index at which the read was scheduled.
+        index: usize,
+        /// The reading process.
+        reader: ProcessId,
+        /// The register read.
+        reg: RegisterId,
+        /// The last writer of the register, when one exists.
+        writer: Option<ProcessId>,
+    },
+    /// The adaptive adversary let a charged write (or RMW) through,
+    /// revealing information to its pending readers (rule 2: smallest
+    /// audience first).
+    Reveal {
+        /// The pick index at which the write was scheduled.
+        index: usize,
+        /// The writing process.
+        writer: ProcessId,
+        /// The register written.
+        reg: RegisterId,
+        /// Pending readers of the register at that pick.
+        audience: usize,
+    },
+    /// The explorer completed (and barrier-merged) one BFS layer.
+    /// Deterministic across worker counts — layer totals do not depend
+    /// on which worker expanded which node.
+    Layer {
+        /// Depth of the completed layer (1-based: layer `d` holds nodes
+        /// at BFS distance `d`).
+        depth: u32,
+        /// Nodes the layer expanded.
+        expanded: usize,
+        /// States first discovered in this layer (the next frontier).
+        fresh: usize,
+        /// Transposition-table hits: insert calls that found an already
+        /// interned state.
+        dedup: usize,
+        /// Cumulative states interned after this layer.
+        states: usize,
+    },
+    /// The exact worst-case search found a positive-cost cycle inside a
+    /// strongly connected component that can still complete — the
+    /// adversary's pump, making the supremum unbounded.
+    Pump {
+        /// BFS depth of the pump edge's source node.
+        depth: u32,
+        /// Size of the strongly connected component containing it.
+        scc: usize,
+    },
+    /// A phase began. Matched with the [`SpanEnd`](TraceEvent::SpanEnd)
+    /// carrying the same scope and tag.
+    SpanStart {
+        /// Which engine phase.
+        scope: SpanScope,
+        /// Scope-specific discriminator (see [`SpanScope`]).
+        tag: u32,
+    },
+    /// A phase ended.
+    SpanEnd {
+        /// Which engine phase.
+        scope: SpanScope,
+        /// Scope-specific discriminator (see [`SpanScope`]).
+        tag: u32,
+        /// Wall-clock duration of the phase. **Excluded from
+        /// equality** — it is measurement metadata, like
+        /// `RunRecord::wall_ns`, and never appears in deterministic
+        /// exports.
+        wall_ns: u64,
+    },
+}
+
+impl PartialEq for TraceEvent {
+    fn eq(&self, other: &Self) -> bool {
+        use TraceEvent::{
+            Charged, Executed, Harvest, Layer, Merge, Pump, Reveal, SpanEnd, SpanStart,
+        };
+        match (self, other) {
+            // `wall_ns` is deliberately ignored (see the type docs).
+            (
+                SpanEnd {
+                    scope: a,
+                    tag: b,
+                    wall_ns: _,
+                },
+                SpanEnd {
+                    scope: c,
+                    tag: d,
+                    wall_ns: _,
+                },
+            ) => a == c && b == d,
+            (
+                Executed {
+                    index: a1,
+                    pid: a2,
+                    ty: a3,
+                    reg: a4,
+                    state_changed: a5,
+                },
+                Executed {
+                    index: b1,
+                    pid: b2,
+                    ty: b3,
+                    reg: b4,
+                    state_changed: b5,
+                },
+            ) => (a1, a2, a3, a4, a5) == (b1, b2, b3, b4, b5),
+            (
+                Charged {
+                    index: a1,
+                    pid: a2,
+                    reg: a3,
+                    sc: a4,
+                    cc: a5,
+                    dsm: a6,
+                },
+                Charged {
+                    index: b1,
+                    pid: b2,
+                    reg: b3,
+                    sc: b4,
+                    cc: b5,
+                    dsm: b6,
+                },
+            ) => (a1, a2, a3, a4, a5, a6) == (b1, b2, b3, b4, b5, b6),
+            (
+                Merge {
+                    index: a1,
+                    reader: a2,
+                    writer: a3,
+                    merged: a4,
+                    groups: a5,
+                },
+                Merge {
+                    index: b1,
+                    reader: b2,
+                    writer: b3,
+                    merged: b4,
+                    groups: b5,
+                },
+            ) => (a1, a2, a3, a4, a5) == (b1, b2, b3, b4, b5),
+            (
+                Harvest {
+                    index: a1,
+                    reader: a2,
+                    reg: a3,
+                    writer: a4,
+                },
+                Harvest {
+                    index: b1,
+                    reader: b2,
+                    reg: b3,
+                    writer: b4,
+                },
+            ) => (a1, a2, a3, a4) == (b1, b2, b3, b4),
+            (
+                Reveal {
+                    index: a1,
+                    writer: a2,
+                    reg: a3,
+                    audience: a4,
+                },
+                Reveal {
+                    index: b1,
+                    writer: b2,
+                    reg: b3,
+                    audience: b4,
+                },
+            ) => (a1, a2, a3, a4) == (b1, b2, b3, b4),
+            (
+                Layer {
+                    depth: a1,
+                    expanded: a2,
+                    fresh: a3,
+                    dedup: a4,
+                    states: a5,
+                },
+                Layer {
+                    depth: b1,
+                    expanded: b2,
+                    fresh: b3,
+                    dedup: b4,
+                    states: b5,
+                },
+            ) => (a1, a2, a3, a4, a5) == (b1, b2, b3, b4, b5),
+            (Pump { depth: a1, scc: a2 }, Pump { depth: b1, scc: b2 }) => (a1, a2) == (b1, b2),
+            (SpanStart { scope: a1, tag: a2 }, SpanStart { scope: b1, tag: b2 }) => {
+                (a1, a2) == (b1, b2)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for TraceEvent {}
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// # Contracts
+///
+/// **No allocation on the emitting side.** Events are `Copy` and are
+/// built on the stack only when [`enabled`](Probe::enabled) returns
+/// `true`; an emitter never allocates, formats or hashes to produce
+/// one. Probe *implementations* may allocate (a collector grows a
+/// vector), but the hot path of a run driven with [`NoProbe`] contains
+/// no trace of the instrumentation at all — the overhead bound is
+/// pinned by `bench_trace` (≤ 1.05× with the probe off, ≤ 1.5× with a
+/// collecting probe on).
+///
+/// **Determinism.** Every event field except
+/// [`SpanEnd`](TraceEvent::SpanEnd)'s `wall_ns` is a pure function of
+/// the observed run. Since every engine in this workspace is
+/// deterministic (same algorithm, seed and configuration ⇒ the same
+/// run), the event stream a probe receives is bit-identical across
+/// repetitions, machines and — for the explorer's barrier-merged layer
+/// events and the sweep's grid-ordered merge — worker counts.
+/// Implementations that want to *stay* deterministic must not read
+/// clocks or ambient state; throttle by event count, never by time.
+pub trait Probe {
+    /// Whether this probe wants events at all. Emitters skip event
+    /// construction entirely when this is `false`; [`NoProbe`] returns
+    /// `false` and monomorphizes the instrumentation away.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Must not panic.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// The default probe: drops everything, compiles to nothing.
+///
+/// Drivers generic over `P: Probe` monomorphized with `NoProbe` are
+/// bit-identical in behavior *and* machine code to their unprobed
+/// ancestors; the unprobed entry points (`run_priced`, `force`,
+/// `explore`) are thin wrappers passing `NoProbe`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, ev: &TraceEvent) {
+        (**self).record(ev);
+    }
+}
+
+/// A shareable handle to one probe, for the places where two emitters
+/// observe the same run — the adaptive adversary emits merge events
+/// from inside `pick()` while the streaming pricer emits step events
+/// from the driver's sink. Both hold a copy of the handle; records are
+/// serialized through the cell (runs are single-threaded, so the
+/// borrow is never contended).
+///
+/// # Example
+///
+/// ```
+/// use std::cell::RefCell;
+/// use exclusion_shmem::probe::{Probe, SharedProbe, TraceEvent};
+///
+/// struct Count(usize);
+/// impl Probe for Count {
+///     fn record(&mut self, _ev: &TraceEvent) { self.0 += 1; }
+/// }
+///
+/// let cell = RefCell::new(Count(0));
+/// let mut a = SharedProbe::new(&cell);
+/// let mut b = a; // Copy: hand one to each emitter
+/// a.record(&TraceEvent::SpanStart { scope: exclusion_shmem::probe::SpanScope::Run, tag: 0 });
+/// b.record(&TraceEvent::SpanEnd { scope: exclusion_shmem::probe::SpanScope::Run, tag: 0, wall_ns: 1 });
+/// assert_eq!(cell.into_inner().0, 2);
+/// ```
+pub struct SharedProbe<'a, P: ?Sized>(&'a RefCell<P>);
+
+impl<'a, P: ?Sized> SharedProbe<'a, P> {
+    /// A handle on the probe in `cell`.
+    #[must_use]
+    pub fn new(cell: &'a RefCell<P>) -> Self {
+        SharedProbe(cell)
+    }
+}
+
+impl<P: ?Sized> Clone for SharedProbe<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: ?Sized> Copy for SharedProbe<'_, P> {}
+
+impl<P: ?Sized> std::fmt::Debug for SharedProbe<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedProbe").finish_non_exhaustive()
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for SharedProbe<'_, P> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.borrow().enabled()
+    }
+
+    #[inline]
+    fn record(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_wall_clock_only() {
+        let a = TraceEvent::SpanEnd {
+            scope: SpanScope::Game,
+            tag: 1,
+            wall_ns: 10,
+        };
+        let b = TraceEvent::SpanEnd {
+            scope: SpanScope::Game,
+            tag: 1,
+            wall_ns: 99,
+        };
+        assert_eq!(a, b);
+        let c = TraceEvent::SpanEnd {
+            scope: SpanScope::Game,
+            tag: 2,
+            wall_ns: 10,
+        };
+        assert_ne!(a, c);
+        let d = TraceEvent::SpanStart {
+            scope: SpanScope::Game,
+            tag: 1,
+        };
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn scope_indices_match_all_order() {
+        for (i, scope) in SpanScope::ALL.iter().enumerate() {
+            assert_eq!(scope.index(), i);
+            assert!(!scope.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn no_probe_is_disabled_and_inert() {
+        let mut p = NoProbe;
+        assert!(!p.enabled());
+        p.record(&TraceEvent::Pump { depth: 0, scc: 1 });
+        // A &mut to any probe is itself a probe.
+        let via_ref: &mut dyn Probe = &mut p;
+        assert!(!via_ref.enabled());
+    }
+}

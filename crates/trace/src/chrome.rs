@@ -1,0 +1,247 @@
+//! Chrome trace-event JSON export, loadable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Timestamps are **logical**: the `ts` of each trace event is its
+//! position in the collected stream, not a wall-clock reading, so two
+//! exports of the same deterministic run are byte-identical — the
+//! property the CLI's `workload trace` acceptance check replays. Span
+//! wall-clock (`SpanEnd::wall_ns`) is never emitted.
+//!
+//! Lane layout: everything shares `pid` 0; per-process events
+//! (steps, charges, adversary moves) run on `tid` = the process index,
+//! while engine-level events (layers, pumps, spans) run on the
+//! [`ENGINE_LANE`] thread.
+
+use std::fmt::Write as _;
+
+use exclusion_shmem::ids::ProcessId;
+use exclusion_shmem::probe::TraceEvent;
+use exclusion_shmem::step::StepType;
+
+/// Schema tag stamped into the export's `otherData`.
+pub const CHROME_SCHEMA: &str = "exclusion-trace/v1";
+
+/// The `tid` engine-level events (layers, pumps, spans) are placed on.
+pub const ENGINE_LANE: usize = 1000;
+
+fn step_name(ty: StepType) -> &'static str {
+    match ty {
+        StepType::Read => "read",
+        StepType::Write => "write",
+        StepType::Rmw => "rmw",
+        StepType::Crit => "crit",
+    }
+}
+
+fn lane(pid: ProcessId) -> usize {
+    pid.index()
+}
+
+/// Serializes a collected event stream as one Chrome trace-event JSON
+/// document. Pure function of the stream: logical timestamps, no
+/// wall-clock, no ambient state.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (ts, ev) in events.iter().enumerate() {
+        if ts > 0 {
+            out.push(',');
+        }
+        match *ev {
+            TraceEvent::Executed {
+                index,
+                pid,
+                ty,
+                reg,
+                state_changed,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"step\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":1,\"pid\":0,\"tid\":{},\"args\":{{\"step\":{index},\
+                     \"reg\":{},\"state_changed\":{state_changed}}}}}",
+                    step_name(ty),
+                    lane(pid),
+                    reg.map_or(-1, |r| r.index() as i64),
+                );
+            }
+            TraceEvent::Charged {
+                index,
+                pid,
+                reg,
+                sc,
+                cc,
+                dsm,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"cost-charge\",\"cat\":\"cost\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\"step\":{index},\
+                     \"reg\":{},\"sc\":{sc},\"cc\":{cc},\"dsm\":{dsm}}}}}",
+                    lane(pid),
+                    reg.index(),
+                );
+            }
+            TraceEvent::Merge {
+                index,
+                reader,
+                writer,
+                merged,
+                groups,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"awareness-merge\",\"cat\":\"adversary\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\
+                     \"pick\":{index},\"writer\":{},\"merged\":{merged},\
+                     \"groups\":{groups}}}}}",
+                    lane(reader),
+                    writer.index(),
+                );
+            }
+            TraceEvent::Harvest {
+                index,
+                reader,
+                reg,
+                writer,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"harvest\",\"cat\":\"adversary\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\"pick\":{index},\
+                     \"reg\":{},\"writer\":{}}}}}",
+                    lane(reader),
+                    reg.index(),
+                    writer.map_or(-1, |w| w.index() as i64),
+                );
+            }
+            TraceEvent::Reveal {
+                index,
+                writer,
+                reg,
+                audience,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"reveal\",\"cat\":\"adversary\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\"pick\":{index},\
+                     \"reg\":{},\"audience\":{audience}}}}}",
+                    lane(writer),
+                    reg.index(),
+                );
+            }
+            TraceEvent::Layer {
+                depth,
+                expanded,
+                fresh,
+                dedup,
+                states,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"frontier\",\"cat\":\"explorer\",\"ph\":\"C\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{ENGINE_LANE},\"args\":{{\"depth\":{depth},\
+                     \"expanded\":{expanded},\"fresh\":{fresh},\"dedup\":{dedup},\
+                     \"states\":{states}}}}}"
+                );
+            }
+            TraceEvent::Pump { depth, scc } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"scc-pump\",\"cat\":\"explorer\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{ENGINE_LANE},\"args\":{{\
+                     \"depth\":{depth},\"scc\":{scc}}}}}"
+                );
+            }
+            TraceEvent::SpanStart { scope, tag } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{ENGINE_LANE},\"args\":{{\"tag\":{tag}}}}}",
+                    scope.name(),
+                );
+            }
+            TraceEvent::SpanEnd { scope, tag, .. } => {
+                // wall_ns deliberately dropped: the export stays a pure
+                // function of the deterministic stream.
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{ENGINE_LANE},\"args\":{{\"tag\":{tag}}}}}",
+                    scope.name(),
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"schema\":\"{CHROME_SCHEMA}\"}}}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::ids::RegisterId;
+    use exclusion_shmem::probe::SpanScope;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SpanStart {
+                scope: SpanScope::Game,
+                tag: 0,
+            },
+            TraceEvent::Executed {
+                index: 0,
+                pid: ProcessId::new(2),
+                ty: StepType::Read,
+                reg: Some(RegisterId::new(1)),
+                state_changed: true,
+            },
+            TraceEvent::Charged {
+                index: 0,
+                pid: ProcessId::new(2),
+                reg: RegisterId::new(1),
+                sc: 1,
+                cc: 1,
+                dsm: 0,
+            },
+            TraceEvent::Merge {
+                index: 0,
+                reader: ProcessId::new(2),
+                writer: ProcessId::new(0),
+                merged: 2,
+                groups: 3,
+            },
+            TraceEvent::SpanEnd {
+                scope: SpanScope::Game,
+                tag: 0,
+                wall_ns: 5_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_balanced_and_names_the_key_events() {
+        let json = chrome_trace(&sample());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for name in ["cost-charge", "awareness-merge", "\"read\"", "\"game\""] {
+            assert!(json.contains(name), "missing {name}");
+        }
+        assert!(json.contains(CHROME_SCHEMA));
+    }
+
+    #[test]
+    fn export_has_logical_timestamps_and_no_wall_clock() {
+        let json = chrome_trace(&sample());
+        for ts in 0..5 {
+            assert!(json.contains(&format!("\"ts\":{ts},")), "ts {ts}");
+        }
+        assert!(!json.contains("5000"));
+        assert!(!json.contains("wall"));
+        // Byte-identical across exports of equal streams.
+        assert_eq!(json, chrome_trace(&sample()));
+    }
+}

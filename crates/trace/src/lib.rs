@@ -1,0 +1,53 @@
+//! Structured tracing, deterministic metrics, and exporters for the
+//! execution, exploration, and adversary engines.
+//!
+//! The event vocabulary and the [`Probe`] trait live one crate down, in
+//! [`exclusion_shmem::probe`] (re-exported here), because every engine
+//! emits through them. This crate is the consumer side:
+//!
+//! * [`CollectingProbe`] — stores the raw event stream verbatim, for
+//!   tests and exporters;
+//! * [`Tee`] — fans one event stream out to two probes;
+//! * [`Metrics`] — a bounded-memory, deterministic aggregator: counters
+//!   plus fixed-bucket [`Hist`]ograms, mergeable in grid order so sweep
+//!   metrics are bit-identical across worker counts;
+//! * [`chrome_trace`] — exports a collected stream as Chrome
+//!   trace-event JSON (loadable in Perfetto or `chrome://tracing`),
+//!   with *logical* timestamps so two traces of the same run are
+//!   byte-identical;
+//! * [`metrics_json`] — flat metrics JSON (schema
+//!   `exclusion-metrics/v1`);
+//! * [`Progress`] — a live stderr reporter throttled by event *count*,
+//!   so its output is deterministic under `--progress=every:N`.
+//!
+//! # Example
+//!
+//! Trace a full adversary game and export it:
+//!
+//! ```
+//! use exclusion_bound::{force_probed, BoundConfig};
+//! use exclusion_mutex::Peterson;
+//! use exclusion_trace::{chrome_trace, CollectingProbe};
+//!
+//! let alg = Peterson::new(3);
+//! let mut probe = CollectingProbe::new();
+//! let run = force_probed(&alg, &BoundConfig::default(), &mut probe);
+//! assert!(run.forced[0] > 0);
+//! let json = chrome_trace(probe.events());
+//! assert!(json.contains("awareness-merge"));
+//! assert!(json.contains("cost-charge"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod collect;
+pub mod metrics;
+pub mod progress;
+
+pub use chrome::{chrome_trace, CHROME_SCHEMA};
+pub use collect::{CollectingProbe, Tee};
+pub use exclusion_shmem::probe::{NoProbe, Probe, SharedProbe, SpanScope, TraceEvent};
+pub use metrics::{metrics_json, Hist, Metrics, METRICS_SCHEMA};
+pub use progress::Progress;

@@ -1,0 +1,447 @@
+//! The deterministic in-memory aggregator: counters plus fixed-bucket
+//! histograms, bounded memory, mergeable.
+
+use std::fmt::Write as _;
+
+use exclusion_shmem::probe::{Probe, SpanScope, TraceEvent};
+use exclusion_shmem::step::StepType;
+
+/// Schema tag stamped into every metrics JSON document.
+pub const METRICS_SCHEMA: &str = "exclusion-metrics/v1";
+
+const BUCKETS: usize = 64;
+const SCOPES: usize = SpanScope::ALL.len();
+
+/// A fixed-memory power-of-two histogram: bucket 0 counts zeros,
+/// bucket `b ≥ 1` counts values in `[2^(b-1), 2^b)`. 64 buckets cover
+/// the full `u64` range, so observing never saturates or allocates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// Bucket index for `v`.
+    #[must_use]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Counts one observation of `v`.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The count in the bucket holding `v`.
+    #[must_use]
+    pub fn count_at(&self, v: u64) -> u64 {
+        self.buckets[Self::bucket_of(v)]
+    }
+
+    /// Adds every bucket of `other` into `self` (commutative and
+    /// associative, so merge order cannot change the result).
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The buckets as a JSON array, trailing zero buckets trimmed.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut out = String::from("[");
+        for (i, c) in self.buckets[..last].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Deterministic aggregate view of one or more event streams.
+///
+/// Feeding the same stream always produces the same `Metrics`, and
+/// [`merge`](Metrics::merge) is commutative, so a sweep can aggregate
+/// per-run metrics in grid order and get a bit-identical result for
+/// any worker count — the same guarantee `sweep` itself makes.
+/// Equality ignores accumulated span wall-clock time (measurement
+/// metadata, mirroring how [`TraceEvent`] equality ignores
+/// `SpanEnd::wall_ns`); everything else is compared.
+///
+/// Memory is bounded by construction: a fixed block of counters and
+/// three fixed 64-bucket histograms, regardless of stream length.
+#[derive(Clone, Default, Debug)]
+pub struct Metrics {
+    /// Total events recorded.
+    pub events: u64,
+    /// Executed steps.
+    pub steps: u64,
+    /// Executed read steps.
+    pub reads: u64,
+    /// Executed write steps.
+    pub writes: u64,
+    /// Executed RMW steps.
+    pub rmws: u64,
+    /// Executed critical steps (`try`/`enter`/`exit`/`rem`).
+    pub crits: u64,
+    /// Steps whose acting process changed state (the SC condition).
+    pub state_changes: u64,
+    /// Steps charged under at least one model.
+    pub charges: u64,
+    /// Total SC cost observed.
+    pub sc: u64,
+    /// Total CC cost observed.
+    pub cc: u64,
+    /// Total DSM cost observed.
+    pub dsm: u64,
+    /// Adversary awareness-group merges.
+    pub merges: u64,
+    /// Adversary harvested charged reads.
+    pub harvests: u64,
+    /// Adversary revealed charged writes.
+    pub reveals: u64,
+    /// Explorer BFS layers completed.
+    pub layers: u64,
+    /// States first discovered across all layers.
+    pub fresh_states: u64,
+    /// Transposition-table dedup hits across all layers.
+    pub dedup_hits: u64,
+    /// Largest BFS frontier seen.
+    pub peak_frontier: u64,
+    /// Largest cumulative state count seen.
+    pub peak_states: u64,
+    /// SCC pump detections.
+    pub pumps: u64,
+    /// Spans started, indexed by [`SpanScope::index`].
+    pub span_counts: [u64; SCOPES],
+    /// Wall-clock accumulated per scope. Excluded from equality and
+    /// from [`metrics_json`]; read it via
+    /// [`span_wall_ns`](Metrics::span_wall_ns).
+    span_wall_ns: [u64; SCOPES],
+    /// Sizes of merged awareness groups.
+    pub merged_sizes: Hist,
+    /// Audience sizes of revealed writes.
+    pub audiences: Hist,
+    /// Nodes expanded per BFS layer.
+    pub frontiers: Hist,
+}
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructure: adding a field without deciding its
+        // equality role is a compile error. `span_wall_ns` is the one
+        // deliberate exclusion (see the type docs).
+        let Metrics {
+            events,
+            steps,
+            reads,
+            writes,
+            rmws,
+            crits,
+            state_changes,
+            charges,
+            sc,
+            cc,
+            dsm,
+            merges,
+            harvests,
+            reveals,
+            layers,
+            fresh_states,
+            dedup_hits,
+            peak_frontier,
+            peak_states,
+            pumps,
+            span_counts,
+            span_wall_ns: _,
+            merged_sizes,
+            audiences,
+            frontiers,
+        } = self;
+        *events == other.events
+            && *steps == other.steps
+            && *reads == other.reads
+            && *writes == other.writes
+            && *rmws == other.rmws
+            && *crits == other.crits
+            && *state_changes == other.state_changes
+            && *charges == other.charges
+            && *sc == other.sc
+            && *cc == other.cc
+            && *dsm == other.dsm
+            && *merges == other.merges
+            && *harvests == other.harvests
+            && *reveals == other.reveals
+            && *layers == other.layers
+            && *fresh_states == other.fresh_states
+            && *dedup_hits == other.dedup_hits
+            && *peak_frontier == other.peak_frontier
+            && *peak_states == other.peak_states
+            && *pumps == other.pumps
+            && *span_counts == other.span_counts
+            && *merged_sizes == other.merged_sizes
+            && *audiences == other.audiences
+            && *frontiers == other.frontiers
+    }
+}
+
+impl Eq for Metrics {}
+
+impl Metrics {
+    /// An empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Wall-clock nanoseconds accumulated by completed spans of
+    /// `scope`. Non-deterministic by nature; never serialized.
+    #[must_use]
+    pub fn span_wall_ns(&self, scope: SpanScope) -> u64 {
+        self.span_wall_ns[scope.index()]
+    }
+
+    /// Folds `other` into `self`: counters add, peaks take the max,
+    /// histograms add bucket-wise.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.events += other.events;
+        self.steps += other.steps;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.rmws += other.rmws;
+        self.crits += other.crits;
+        self.state_changes += other.state_changes;
+        self.charges += other.charges;
+        self.sc += other.sc;
+        self.cc += other.cc;
+        self.dsm += other.dsm;
+        self.merges += other.merges;
+        self.harvests += other.harvests;
+        self.reveals += other.reveals;
+        self.layers += other.layers;
+        self.fresh_states += other.fresh_states;
+        self.dedup_hits += other.dedup_hits;
+        self.peak_frontier = self.peak_frontier.max(other.peak_frontier);
+        self.peak_states = self.peak_states.max(other.peak_states);
+        self.pumps += other.pumps;
+        for (a, b) in self.span_counts.iter_mut().zip(other.span_counts.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.span_wall_ns.iter_mut().zip(other.span_wall_ns.iter()) {
+            *a += b;
+        }
+        self.merged_sizes.merge(&other.merged_sizes);
+        self.audiences.merge(&other.audiences);
+        self.frontiers.merge(&other.frontiers);
+    }
+
+    /// The aggregate as one flat JSON document (see [`metrics_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        metrics_json(self)
+    }
+}
+
+impl Probe for Metrics {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match *ev {
+            TraceEvent::Executed {
+                ty, state_changed, ..
+            } => {
+                self.steps += 1;
+                match ty {
+                    StepType::Read => self.reads += 1,
+                    StepType::Write => self.writes += 1,
+                    StepType::Rmw => self.rmws += 1,
+                    StepType::Crit => self.crits += 1,
+                }
+                self.state_changes += u64::from(state_changed);
+            }
+            TraceEvent::Charged { sc, cc, dsm, .. } => {
+                self.charges += 1;
+                self.sc += u64::from(sc);
+                self.cc += u64::from(cc);
+                self.dsm += u64::from(dsm);
+            }
+            TraceEvent::Merge { merged, .. } => {
+                self.merges += 1;
+                self.merged_sizes.observe(merged as u64);
+            }
+            TraceEvent::Harvest { .. } => self.harvests += 1,
+            TraceEvent::Reveal { audience, .. } => {
+                self.reveals += 1;
+                self.audiences.observe(audience as u64);
+            }
+            TraceEvent::Layer {
+                expanded,
+                fresh,
+                dedup,
+                states,
+                ..
+            } => {
+                self.layers += 1;
+                self.fresh_states += fresh as u64;
+                self.dedup_hits += dedup as u64;
+                self.peak_frontier = self.peak_frontier.max(expanded.max(fresh) as u64);
+                self.peak_states = self.peak_states.max(states as u64);
+                self.frontiers.observe(expanded as u64);
+            }
+            TraceEvent::Pump { .. } => self.pumps += 1,
+            TraceEvent::SpanStart { scope, .. } => self.span_counts[scope.index()] += 1,
+            TraceEvent::SpanEnd { scope, wall_ns, .. } => {
+                self.span_wall_ns[scope.index()] += wall_ns;
+            }
+        }
+    }
+}
+
+/// Serializes a [`Metrics`] as one flat JSON document: schema tag,
+/// every counter, per-scope span counts, and the trimmed histograms.
+/// Span wall-clock is deliberately absent — the document is a pure
+/// function of the event stream, so reports embedding it stay
+/// deterministic.
+#[must_use]
+pub fn metrics_json(m: &Metrics) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{METRICS_SCHEMA}\",\"events\":{},\"steps\":{},\
+         \"reads\":{},\"writes\":{},\"rmws\":{},\"crits\":{},\
+         \"state_changes\":{},\"charges\":{},\"sc\":{},\"cc\":{},\"dsm\":{},\
+         \"merges\":{},\"harvests\":{},\"reveals\":{},\
+         \"layers\":{},\"fresh_states\":{},\"dedup_hits\":{},\
+         \"peak_frontier\":{},\"peak_states\":{},\"pumps\":{},\"spans\":{{",
+        m.events,
+        m.steps,
+        m.reads,
+        m.writes,
+        m.rmws,
+        m.crits,
+        m.state_changes,
+        m.charges,
+        m.sc,
+        m.cc,
+        m.dsm,
+        m.merges,
+        m.harvests,
+        m.reveals,
+        m.layers,
+        m.fresh_states,
+        m.dedup_hits,
+        m.peak_frontier,
+        m.peak_states,
+        m.pumps,
+    );
+    for (i, scope) in SpanScope::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", scope.name(), m.span_counts[i]);
+    }
+    let _ = write!(
+        out,
+        "}},\"hist\":{{\"merged_sizes\":{},\"audiences\":{},\"frontiers\":{}}}}}",
+        m.merged_sizes.to_json(),
+        m.audiences.to_json(),
+        m.frontiers.to_json(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exclusion_shmem::ids::ProcessId;
+
+    #[test]
+    fn hist_buckets_are_powers_of_two() {
+        let mut h = Hist::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.count_at(0), 1);
+        assert_eq!(h.count_at(1), 1);
+        assert_eq!(h.count_at(2), 2); // 2 and 3
+        assert_eq!(h.count_at(5), 2); // 4, 7 share [4,8); 8 is next
+        assert_eq!(h.count_at(u64::MAX), 1);
+        assert_eq!(Hist::default().to_json(), "[]");
+        let mut one = Hist::default();
+        one.observe(2);
+        assert_eq!(one.to_json(), "[0,0,1]");
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_ignores_wall() {
+        let ev_step = TraceEvent::Executed {
+            index: 0,
+            pid: ProcessId::new(1),
+            ty: StepType::Write,
+            reg: None,
+            state_changed: true,
+        };
+        let ev_end = TraceEvent::SpanEnd {
+            scope: SpanScope::Game,
+            tag: 0,
+            wall_ns: 123,
+        };
+        let mut a = Metrics::new();
+        a.record(&ev_step);
+        let mut b = Metrics::new();
+        b.record(&ev_end);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.steps, 1);
+        assert_eq!(ab.span_wall_ns(SpanScope::Game), 123);
+
+        // Wall time never reaches equality or JSON.
+        let mut no_wall = ab.clone();
+        no_wall.span_wall_ns = [0; SCOPES];
+        assert_eq!(ab, no_wall);
+        assert_eq!(ab.to_json(), no_wall.to_json());
+    }
+
+    #[test]
+    fn json_is_balanced_and_tagged() {
+        let mut m = Metrics::new();
+        m.record(&TraceEvent::Layer {
+            depth: 1,
+            expanded: 1,
+            fresh: 5,
+            dedup: 2,
+            states: 6,
+        });
+        let json = m.to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{METRICS_SCHEMA}\"")));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"dedup_hits\":2"));
+        assert!(json.contains("\"peak_frontier\":5"));
+    }
+}

@@ -33,6 +33,8 @@ USAGE:
     workload [OPTIONS]            sampled cost sweep (the default mode)
     workload explore [OPTIONS]    exhaustive exploration (see explore --help)
     workload bound [OPTIONS]      adaptive forced-cost curves (see bound --help)
+    workload trace [OPTIONS]      trace one run to Chrome/Perfetto JSON
+                                  (see trace --help)
 
 OPTIONS:
     --algs A,B,...       algorithm specs to sweep (default:
@@ -62,6 +64,8 @@ OPTIONS:
                          kept for A/B measurement)
     --json PATH          write the JSON report (`-` for stdout)
     --csv PATH           write the per-run CSV (`-` for stdout)
+    --metrics PATH       aggregate trace metrics over every run and
+                         write the metrics JSON (`-` for stdout)
     --quiet              suppress the summary table and timing
     --list               print both registries (entries, parameters,
                          metadata) and exit
@@ -81,6 +85,7 @@ struct Args {
     record: bool,
     json: Option<String>,
     csv: Option<String>,
+    metrics: Option<String>,
     quiet: bool,
 }
 
@@ -163,6 +168,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
         record: false,
         json: None,
         csv: None,
+        metrics: None,
         quiet: false,
     };
     // First --algs/--scheds replaces the default list; repeats append,
@@ -210,6 +216,7 @@ fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
             "--no-record" => args.record = false,
             "--json" => args.json = Some(value()?),
             "--csv" => args.csv = Some(value()?),
+            "--metrics" => args.metrics = Some(value()?),
             "--quiet" => args.quiet = true,
             "--list" => {
                 print!(
@@ -778,6 +785,206 @@ fn bound_json(args: &BoundArgs, curves: &[exclusion_bound::BoundCurve]) -> Strin
     out
 }
 
+const TRACE_USAGE: &str = "\
+workload trace — run one scenario with the structured probe attached
+and export a Chrome trace-event JSON (load it at https://ui.perfetto.dev)
+
+USAGE:
+    workload trace [OPTIONS]
+
+OPTIONS:
+    --alg A              algorithm spec (default: peterson)
+    --sched S            scheduler spec; `fanlynch` (aliases: adaptive,
+                         fan-lynch) is constructed directly so its
+                         internal awareness-merge / harvest / reveal
+                         events are captured too (default: fanlynch)
+    --n N                processes (default: 8)
+    --passages P         passages per process (default: 1)
+    --seed S             scheduler seed / adaptive tie-break (default: 1)
+    --max-steps N        step budget (default: 50000000)
+    --out PATH           write the Chrome trace JSON (`-` for stdout,
+                         the default)
+    --metrics PATH       also write the aggregated metrics JSON
+    --progress every:N   print a status line to stderr every N events
+                         (`--progress=every:N` also parses; 0 = off)
+    --help               this text
+
+The exported trace is a pure function of (alg, sched, n, passages,
+seed): two identical invocations emit byte-identical JSON.
+";
+
+struct TraceArgs {
+    alg: String,
+    sched: String,
+    n: usize,
+    passages: usize,
+    seed: u64,
+    max_steps: usize,
+    out: String,
+    metrics: Option<String>,
+    every: u64,
+}
+
+fn parse_progress(v: &str) -> Result<u64, String> {
+    let v = v.strip_prefix("every:").unwrap_or(v);
+    v.parse().map_err(|e| format!("--progress: {e}"))
+}
+
+fn parse_trace_args(argv: &[String]) -> Result<Option<TraceArgs>, String> {
+    let mut args = TraceArgs {
+        alg: "peterson".into(),
+        sched: "fanlynch".into(),
+        n: 8,
+        passages: 1,
+        seed: 1,
+        max_steps: 50_000_000,
+        out: "-".into(),
+        metrics: None,
+        every: 0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--alg" => args.alg = value()?,
+            "--sched" => args.sched = value()?,
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--passages" => {
+                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--max-steps" => {
+                args.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--out" => args.out = value()?,
+            "--metrics" => args.metrics = Some(value()?),
+            "--progress" => args.every = parse_progress(&value()?)?,
+            "--help" | "-h" => {
+                print!("{TRACE_USAGE}");
+                return Ok(None);
+            }
+            other => match other.strip_prefix("--progress=") {
+                Some(v) => args.every = parse_progress(v)?,
+                None => return Err(format!("unknown flag `{other}` (try trace --help)")),
+            },
+        }
+    }
+    if args.passages == 0 {
+        return Err("--passages must be positive".into());
+    }
+    Ok(Some(args))
+}
+
+/// The trace subcommand's composite sink: always collects (for the
+/// Chrome export), optionally aggregates metrics, optionally prints
+/// progress — one probe handed to the whole run.
+struct TraceSink {
+    collect: exclusion_trace::CollectingProbe,
+    metrics: Option<exclusion_trace::Metrics>,
+    progress: exclusion_trace::Progress,
+}
+
+impl exclusion_trace::Probe for TraceSink {
+    fn record(&mut self, ev: &exclusion_trace::TraceEvent) {
+        self.collect.record(ev);
+        if let Some(m) = &mut self.metrics {
+            m.record(ev);
+        }
+        self.progress.record(ev);
+    }
+}
+
+fn run_trace(argv: &[String]) -> Result<(), String> {
+    use exclusion_trace::{Probe as _, SharedProbe, SpanScope, TraceEvent};
+
+    let Some(args) = parse_trace_args(argv)? else {
+        return Ok(());
+    };
+    let mut sink = TraceSink {
+        collect: exclusion_trace::CollectingProbe::new(),
+        metrics: args
+            .metrics
+            .as_ref()
+            .map(|_| exclusion_trace::Metrics::new()),
+        progress: exclusion_trace::Progress::new(args.every),
+    };
+    // The adaptive adversary is special-cased by name: the registry's
+    // erased builder cannot carry a probe, so `fanlynch` is constructed
+    // directly and shares the sink with the pricing driver — that is
+    // what puts awareness-merge/harvest/reveal events in the trace.
+    let fanlynch = matches!(args.sched.as_str(), "fanlynch" | "adaptive" | "fan-lynch");
+    sink.record(&TraceEvent::SpanStart {
+        scope: SpanScope::Run,
+        tag: 0,
+    });
+    let start = std::time::Instant::now();
+    let (steps, sc, cc, dsm) = if fanlynch {
+        let resolved = AlgorithmRegistry::global()
+            .resolve_str(&args.alg, args.n)
+            .map_err(|e| e.to_string())?;
+        let alg = resolved.automaton;
+        let cell = std::cell::RefCell::new(&mut sink as &mut dyn exclusion_trace::Probe);
+        let probe = SharedProbe::new(&cell);
+        let mut sched = exclusion_bound::AdaptiveAdversary::new(args.seed).with_probe(probe);
+        let priced = exclusion_cost::run_priced_probed(
+            &exclusion_shmem::dynamic::DynRef(alg.as_ref()),
+            &mut sched,
+            args.passages,
+            args.max_steps,
+            probe,
+        )
+        .map_err(|e| e.to_string())?;
+        (
+            priced.steps,
+            priced.sc.total(),
+            priced.cc.total(),
+            priced.dsm.total(),
+        )
+    } else {
+        let sched = SchedSpec::parse(&args.sched).map_err(|e| e.to_string())?;
+        let scenario = Scenario::builder(args.alg.clone(), args.n)
+            .passages(args.passages)
+            .sched(sched)
+            .seeds([args.seed])
+            .max_steps(args.max_steps)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let record = exclusion_workload::run_probed(&scenario, args.seed, &mut sink);
+        if let Some(e) = record.error {
+            return Err(e);
+        }
+        (record.steps, record.sc, record.cc, record.dsm)
+    };
+    sink.record(&TraceEvent::SpanEnd {
+        scope: SpanScope::Run,
+        tag: 0,
+        wall_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    });
+    eprintln!(
+        "traced {} {} n={} seed={}: {} steps / {} events | sc {sc} cc {cc} dsm {dsm}",
+        args.alg,
+        args.sched,
+        args.n,
+        args.seed,
+        steps,
+        sink.collect.len(),
+    );
+    emit(
+        &args.out,
+        "Chrome trace",
+        &exclusion_trace::chrome_trace(sink.collect.events()),
+    )?;
+    if let Some(path) = &args.metrics {
+        let m = sink.metrics.as_ref().expect("metrics were requested");
+        emit(path, "metrics JSON", &exclusion_trace::metrics_json(m))?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explore") {
@@ -785,6 +992,9 @@ fn run() -> Result<(), String> {
     }
     if argv.first().map(String::as_str) == Some("bound") {
         return run_bound(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        return run_trace(&argv[1..]);
     }
     let Some(args) = parse_args(&argv)? else {
         return Ok(());
@@ -809,6 +1019,7 @@ fn run() -> Result<(), String> {
         &SweepOptions {
             threads: args.threads,
             record: args.record,
+            metrics: args.metrics.is_some(),
         },
     );
     let elapsed = start.elapsed();
@@ -828,6 +1039,10 @@ fn run() -> Result<(), String> {
     }
     if let Some(path) = &args.csv {
         emit(path, "CSV report", &report.to_csv())?;
+    }
+    if let Some(path) = &args.metrics {
+        let m = report.metrics.as_ref().expect("metrics were requested");
+        emit(path, "metrics JSON", &exclusion_trace::metrics_json(m))?;
     }
     let failures: usize = report.summaries.iter().map(|s| s.failures).sum();
     if failures > 0 {

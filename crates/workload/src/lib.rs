@@ -63,6 +63,8 @@ pub mod scenario;
 pub mod schedreg;
 
 pub use report::JSON_SCHEMA;
-pub use runner::{sweep, ModelSummary, RunRecord, ScenarioSummary, SweepOptions, SweepReport};
+pub use runner::{
+    run_probed, sweep, ModelSummary, RunRecord, ScenarioSummary, SweepOptions, SweepReport,
+};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SchedSpec};
 pub use schedreg::{ResolvedSched, SchedBuilder, SchedulerEntry, SchedulerInfo, SchedulerRegistry};

@@ -57,8 +57,8 @@ use exclusion_explore::report::json_escape as esc;
 fn model_json(out: &mut String, key: &str, m: &ModelSummary) {
     let _ = write!(
         out,
-        "\"{key}\":{{\"min\":{},\"p50\":{},\"p90\":{},\"max\":{},\"mean\":{:.3}}}",
-        m.min, m.p50, m.p90, m.max, m.mean
+        "\"{key}\":{{\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{:.3}}}",
+        m.min, m.p50, m.p90, m.p99, m.max, m.mean
     );
 }
 
@@ -174,8 +174,8 @@ impl SweepReport {
     #[must_use]
     pub fn to_text(&self) -> String {
         let header = [
-            "scenario", "runs", "fail", "sc min", "sc p50", "sc p90", "sc max", "sc mean",
-            "cc max", "dsm max",
+            "scenario", "runs", "fail", "sc min", "sc p50", "sc p90", "sc p99", "sc max",
+            "sc mean", "cc max", "dsm max",
         ];
         let mut rows: Vec<Vec<String>> = vec![header.iter().map(ToString::to_string).collect()];
         for s in &self.summaries {
@@ -186,6 +186,7 @@ impl SweepReport {
                 s.sc.min.to_string(),
                 s.sc.p50.to_string(),
                 s.sc.p90.to_string(),
+                s.sc.p99.to_string(),
                 s.sc.max.to_string(),
                 format!("{:.1}", s.sc.mean),
                 s.cc.max.to_string(),

@@ -14,9 +14,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use exclusion_cost::{all_costs, run_priced};
+use exclusion_cost::{all_costs, run_priced_probed};
 use exclusion_shmem::dynamic::DynRef;
+use exclusion_shmem::probe::{NoProbe, Probe, SpanScope, TraceEvent};
 use exclusion_shmem::sched::run_scheduler;
+use exclusion_trace::Metrics;
 
 use crate::scenario::Scenario;
 
@@ -106,6 +108,9 @@ pub struct ModelSummary {
     pub p50: usize,
     /// 90th percentile (nearest-rank).
     pub p90: usize,
+    /// 99th percentile (nearest-rank) — the tail that distinguishes an
+    /// adversary's rare jackpots from its typical extraction.
+    pub p99: usize,
     /// Largest total.
     pub max: usize,
     /// Arithmetic mean.
@@ -123,6 +128,7 @@ impl ModelSummary {
             min: values[0],
             p50: rank(50),
             p90: rank(90),
+            p99: rank(99),
             max: *values.last().expect("nonempty"),
             mean: values.iter().sum::<usize>() as f64 / values.len() as f64,
         }
@@ -163,6 +169,12 @@ pub struct SweepReport {
     pub records: Vec<RunRecord>,
     /// One summary per scenario, in scenario order.
     pub summaries: Vec<ScenarioSummary>,
+    /// Aggregated trace metrics over every run, when
+    /// [`SweepOptions::metrics`] asked for them: per-run [`Metrics`]
+    /// merged in grid order (each run bracketed by a
+    /// [`SpanScope::Run`] span), so the counters are bit-identical for
+    /// any thread count. `None` when metrics were not requested.
+    pub metrics: Option<Metrics>,
 }
 
 /// Options for [`sweep`].
@@ -176,6 +188,12 @@ pub struct SweepOptions {
     /// way; `record` costs roughly three extra re-executions per run
     /// plus the recording allocation.
     pub record: bool,
+    /// Collect a merged [`Metrics`] aggregate over the whole grid into
+    /// [`SweepReport::metrics`]. Only the streaming engine emits
+    /// per-step events, so combine with `record` only for span/step
+    /// counts of interest. Default `false`: the hot path runs with
+    /// [`NoProbe`] and pays nothing.
+    pub metrics: bool,
 }
 
 impl SweepOptions {
@@ -186,7 +204,21 @@ impl SweepOptions {
     }
 }
 
-fn run_one(sc: &Scenario, seed: u64, record_executions: bool) -> RunRecord {
+/// Runs one (scenario, seed) cell with a [`Probe`] observing it: the
+/// streaming pricer emits one `Executed` event per step and one
+/// `Charged` event per nonzero cost delta, and adaptive (`fanlynch`)
+/// schedulers built by the scenario do **not** emit their internal
+/// events here — the scheduler is built through the registry's erased
+/// builder, which has no probe to thread. (The `workload trace`
+/// subcommand constructs the adversary directly to get those; sweeps
+/// aggregate execution-side events only.) With [`NoProbe`] this is
+/// exactly the cell [`sweep`] runs.
+#[must_use]
+pub fn run_probed(sc: &Scenario, seed: u64, probe: &mut dyn Probe) -> RunRecord {
+    run_one(sc, seed, false, probe)
+}
+
+fn run_one(sc: &Scenario, seed: u64, record_executions: bool, probe: &mut dyn Probe) -> RunRecord {
     let mut record = RunRecord {
         scenario: sc.name.clone(),
         algorithm: sc.algorithm.clone(),
@@ -223,7 +255,7 @@ fn run_one(sc: &Scenario, seed: u64, record_executions: bool) -> RunRecord {
             Err(e) => record.error = Some(e.to_string()),
         }
     } else {
-        match run_priced(&alg, sched.as_mut(), sc.passages, sc.max_steps) {
+        match run_priced_probed(&alg, sched.as_mut(), sc.passages, sc.max_steps, probe) {
             Ok(priced) => {
                 record.steps = priced.steps;
                 record.sc = priced.sc.total();
@@ -254,33 +286,62 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
     let threads = opts.resolved_threads(jobs.len());
     let cursor = AtomicUsize::new(0);
 
-    let mut slots: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+    let mut slots: Vec<Option<(RunRecord, Option<Metrics>)>> = vec![None; jobs.len()];
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cursor = &cursor;
             let jobs = &jobs;
             handles.push(scope.spawn(move || {
-                let mut out: Vec<(usize, RunRecord)> = Vec::new();
+                let mut out: Vec<(usize, RunRecord, Option<Metrics>)> = Vec::new();
                 loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(i, seed)) = jobs.get(k) else {
                         return out;
                     };
-                    out.push((k, run_one(&scenarios[i], seed, opts.record)));
+                    if opts.metrics {
+                        // One private aggregator per run, bracketed by a
+                        // Run span; the per-run aggregates are merged in
+                        // grid order below, so the result is independent
+                        // of which worker ran which cell.
+                        let mut m = Metrics::new();
+                        let tag = u32::try_from(k).unwrap_or(u32::MAX);
+                        let scope = SpanScope::Run;
+                        m.record(&TraceEvent::SpanStart { scope, tag });
+                        let start = Instant::now();
+                        let record = run_one(&scenarios[i], seed, opts.record, &mut m);
+                        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        m.record(&TraceEvent::SpanEnd {
+                            scope,
+                            tag,
+                            wall_ns,
+                        });
+                        out.push((k, record, Some(m)));
+                    } else {
+                        out.push((
+                            k,
+                            run_one(&scenarios[i], seed, opts.record, &mut NoProbe),
+                            None,
+                        ));
+                    }
                 }
             }));
         }
         for h in handles {
-            for (k, record) in h.join().expect("worker panicked") {
-                slots[k] = Some(record);
+            for (k, record, metrics) in h.join().expect("worker panicked") {
+                slots[k] = Some((record, metrics));
             }
         }
     });
-    let records: Vec<RunRecord> = slots
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect();
+    let mut metrics = opts.metrics.then(Metrics::new);
+    let mut records: Vec<RunRecord> = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        let (record, m) = slot.expect("every job ran");
+        records.push(record);
+        if let (Some(total), Some(m)) = (metrics.as_mut(), m) {
+            total.merge(&m);
+        }
+    }
 
     // Group by grid index, not name (two scenarios may share a name, and
     // each still gets its own summary), in one pass over the records —
@@ -310,7 +371,11 @@ pub fn sweep(scenarios: &[Scenario], opts: &SweepOptions) -> SweepReport {
         .collect();
     drop(buckets);
 
-    SweepReport { records, summaries }
+    SweepReport {
+        records,
+        summaries,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -361,7 +426,8 @@ mod tests {
         }
         for s in &report.summaries {
             assert_eq!(s.failures, 0, "{}", s.scenario);
-            assert!(s.sc.min <= s.sc.p50 && s.sc.p50 <= s.sc.p90 && s.sc.p90 <= s.sc.max);
+            assert!(s.sc.min <= s.sc.p50 && s.sc.p50 <= s.sc.p90 && s.sc.p90 <= s.sc.p99);
+            assert!(s.sc.p99 <= s.sc.max);
             assert!(s.sc.min > 0, "{}", s.scenario);
         }
     }
@@ -438,13 +504,43 @@ mod tests {
     }
 
     #[test]
+    fn sweep_metrics_are_thread_count_independent() {
+        let scenarios = grid();
+        let opts = |threads| SweepOptions {
+            threads,
+            metrics: true,
+            ..SweepOptions::default()
+        };
+        let one = sweep(&scenarios, &opts(1));
+        let four = sweep(&scenarios, &opts(4));
+        // Metrics equality ignores span wall times, so this pins every
+        // counter and histogram across thread counts.
+        assert_eq!(one, four);
+        let m = one.metrics.expect("metrics were requested");
+        let steps: usize = one.records.iter().map(|r| r.steps).sum();
+        assert_eq!(m.steps, steps as u64, "one Executed event per step");
+        assert_eq!(
+            m.span_counts[SpanScope::Run.index()],
+            28,
+            "one Run span per cell"
+        );
+        assert!(m.sc > 0 && m.charges > 0);
+        // Unprobed sweeps carry no aggregate and identical records.
+        let off = sweep(&scenarios, &SweepOptions::default());
+        assert!(off.metrics.is_none());
+        assert_eq!(off.records, one.records);
+    }
+
+    #[test]
     fn percentiles_are_nearest_rank() {
         let s = ModelSummary::of(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
         assert_eq!(s.min, 10);
         assert_eq!(s.max, 100);
         assert_eq!(s.p50, 60); // nearest-rank on 10 values
         assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 100);
         assert!((s.mean - 55.0).abs() < 1e-9);
         assert_eq!(ModelSummary::of(vec![]).max, 0);
+        assert_eq!(ModelSummary::of(vec![]).p99, 0);
     }
 }

@@ -29,7 +29,11 @@
 //! * [`workload`] — the adversarial scenario engine: pluggable
 //!   schedulers (greedy cost-maximizing adversary, burst and staggered
 //!   arrivals), scenario grids, and parallel sharded sweeps pricing
-//!   executions under all three cost models.
+//!   executions under all three cost models;
+//! * [`trace`] — the observability layer: structured probe events from
+//!   every engine (cost charges, awareness merges, explorer layers),
+//!   deterministic metrics aggregation, Chrome trace-event export, and
+//!   count-throttled live progress — zero overhead when off.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! the paper-to-code mapping, and `EXPERIMENTS.md` for the reproduced
@@ -68,4 +72,5 @@ pub use exclusion_lb as lb;
 pub use exclusion_mutex as mutex;
 pub use exclusion_shmem as shmem;
 pub use exclusion_spin as spin;
+pub use exclusion_trace as trace;
 pub use exclusion_workload as workload;
