@@ -1,0 +1,61 @@
+//! `bench_crash` — forced-RMR curves for the recoverable locks under
+//! crash budgets k ∈ {0, 1, 2}, written to `BENCH_crash.json`.
+//!
+//! ```text
+//! bench_crash                      # full grid (n up to 16), BENCH_crash.json
+//! bench_crash --quick --out -      # n ≤ 8, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any crash game fails to complete, the portfolio
+//! fails to dominate its greedy member, a witness does not replay to
+//! the forced RMR-CC cost, a k = 0 column drifts from the crash-free
+//! CC/DSM pipeline, or an exhaustive certification verdict flips
+//! (honest locks must certify, the planted `broken-recover` must be
+//! refuted) — CI runs the `--quick` grid as the crash smoke test.
+
+use std::process::ExitCode;
+
+use exclusion_bench::crashbench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_crash.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_crash: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_crash [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_crash: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (cells, checks) = run(quick);
+    eprint!("{}", to_text(&cells, &checks));
+    let json = to_json(&cells, &checks, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_crash: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&cells, &checks) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_crash: some games failed to dominate, replay, hold baseline, or certify");
+        ExitCode::FAILURE
+    }
+}

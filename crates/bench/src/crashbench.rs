@@ -1,0 +1,376 @@
+//! The crash-game benchmark behind `BENCH_crash.json`: forced-RMR
+//! curves for the recoverable locks under crash budgets k ∈ {0, 1, 2},
+//! with the k = 0 column cross-checked bit-identically against the
+//! crash-free pipeline, every witness replayed through the fault
+//! driver, and the exhaustive crash certification re-run at small `n`
+//! (honest locks certify, the planted `broken-recover` is refuted).
+//!
+//! Run it with `cargo run --release -p exclusion-bench --bin
+//! bench_crash -- --out BENCH_crash.json`. CI runs the `--quick` grid
+//! on every push and uploads the JSON as an artifact; the binary exits
+//! nonzero if any game fails to complete, the portfolio fails to
+//! dominate its greedy member, a witness does not replay to the forced
+//! RMR-CC cost, a k = 0 cell drifts from the crash-free CC/DSM
+//! pipeline, or a certification verdict flips.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use exclusion_bound::{
+    fit_nlogn, force, force_crash, rmr_models_json, BoundConfig, CrashForcedRun, Fit, RMR_CC,
+    RMR_MODELS,
+};
+use exclusion_cost::rmr_cc_cost;
+use exclusion_explore::report::json_escape;
+use exclusion_explore::{certify_recoverable, ExploreConfig};
+use exclusion_mutex::registry::AlgorithmRegistry;
+use exclusion_shmem::dynamic::DynRef;
+use exclusion_shmem::run_faulted;
+
+/// Schema tag stamped into `BENCH_crash.json`.
+pub const BENCH_SCHEMA: &str = "exclusion-bench-crash/v1";
+
+/// The crash budgets every curve is swept under.
+pub const BUDGETS: [usize; 3] = [0, 1, 2];
+
+/// The *honest* recoverable locks — the curves of the report, derived
+/// from the registry's own `recoverable` metadata. The planted
+/// `broken-recover` is excluded here (its claim is a lie the
+/// certification section exposes) but included in [`certifications`].
+#[must_use]
+pub fn algorithms() -> Vec<String> {
+    AlgorithmRegistry::global()
+        .entries()
+        .filter(|e| e.info().recoverable && e.info().name != "broken-recover")
+        .map(|e| e.info().name.clone())
+        .collect()
+}
+
+/// One (algorithm, budget, n) game of the benchmark grid.
+#[derive(Clone, Debug)]
+pub struct CrashCell {
+    /// The game's outcome.
+    pub run: CrashForcedRun,
+    /// Whether the game completed and the forced RMR cost dominates
+    /// the greedy baseline under both flavors.
+    pub dominated: bool,
+    /// Whether the witness replayed bit-identically through the fault
+    /// driver and re-priced to the winning strategy's RMR-CC cost.
+    pub witness_ok: bool,
+    /// For k = 0 cells: whether the forced RMR costs equal the
+    /// crash-free pipeline's CC/DSM columns exactly (vacuously true at
+    /// k > 0, where there is nothing to compare against).
+    pub baseline_ok: bool,
+    /// Wall-clock nanoseconds for the whole game including the checks.
+    pub wall_ns: u128,
+}
+
+/// One exhaustive certification verdict of the cross-check section.
+#[derive(Clone, Debug)]
+pub struct RecoveryCheck {
+    /// Algorithm spec.
+    pub algorithm: String,
+    /// Process count (small enough for exhaustive search).
+    pub n: usize,
+    /// Crash budget of the certification.
+    pub budget: usize,
+    /// Distinct `(state, crashes-used)` product nodes visited.
+    pub states: usize,
+    /// Whether mutual exclusion was proved to survive every schedule
+    /// within the budget.
+    pub certified: bool,
+    /// Whether the verdict matches the entry's honesty: honest locks
+    /// certify, the planted `broken-recover` is refuted.
+    pub ok: bool,
+}
+
+/// Grid sizes. Crash games are single runs (not exhaustive), so the
+/// grid can go past the explorer's n ≤ 3 ceiling.
+fn grid_for(quick: bool) -> Vec<usize> {
+    exclusion_bound::doubling_grid(2, if quick { 8 } else { 16 })
+}
+
+/// Runs the benchmark grid: every honest recoverable lock over
+/// `budgets × ns`, plus the exhaustive certification cross-check at
+/// n ∈ {2, 3} (the planted `broken-recover` included there).
+#[must_use]
+pub fn run(quick: bool) -> (Vec<CrashCell>, Vec<RecoveryCheck>) {
+    let registry = AlgorithmRegistry::global();
+    let cfg = BoundConfig::default();
+    let mut cells = Vec::new();
+    for algorithm in algorithms() {
+        for &k in &BUDGETS {
+            for n in grid_for(quick) {
+                let alg = registry
+                    .resolve_str(&algorithm, n)
+                    .expect("benchmark specs resolve")
+                    .automaton;
+                let start = Instant::now();
+                let mut run = force_crash(alg.as_ref(), &BoundConfig { crashes: k, ..cfg });
+                run.algorithm = algorithm.clone();
+                let dominated = run.completed()
+                    && (0..RMR_MODELS.len()).all(|m| run.forced[m] >= run.greedy[m]);
+                let witness_ok = run.completed() && {
+                    let (mut script, mut plan) = run.replay_artifacts();
+                    run_faulted(
+                        &DynRef(alg.as_ref()),
+                        &mut script,
+                        &mut plan,
+                        cfg.passages,
+                        run.steps + 1,
+                    )
+                    .is_ok_and(|exec| {
+                        let winner = if run.winner[RMR_CC] == "fanlynch" {
+                            run.adaptive[RMR_CC]
+                        } else {
+                            run.greedy[RMR_CC]
+                        };
+                        exec.steps() == run.witness.as_slice()
+                            && rmr_cc_cost(&DynRef(alg.as_ref()), &exec)
+                                .is_ok_and(|r| r.total() == winner)
+                    })
+                };
+                let baseline_ok = k != 0 || {
+                    let plain = force(alg.as_ref(), &cfg);
+                    run.forced == [plain.forced[1], plain.forced[2]]
+                        && run.adaptive == [plain.adaptive[1], plain.adaptive[2]]
+                        && run.greedy == [plain.greedy[1], plain.greedy[2]]
+                };
+                cells.push(CrashCell {
+                    run,
+                    dominated,
+                    witness_ok,
+                    baseline_ok,
+                    wall_ns: start.elapsed().as_nanos(),
+                });
+            }
+        }
+    }
+    (cells, certifications())
+}
+
+/// The certification cross-check: every registry entry claiming
+/// `recoverable` (the planted `broken-recover` included) exhaustively
+/// certified at n ∈ {2, 3} under the largest swept budget.
+#[must_use]
+pub fn certifications() -> Vec<RecoveryCheck> {
+    let registry = AlgorithmRegistry::global();
+    let budget = *BUDGETS.iter().max().expect("budgets are nonempty");
+    let mut checks = Vec::new();
+    for entry in registry.entries().filter(|e| e.info().recoverable) {
+        let name = entry.info().name.clone();
+        for n in [2usize, 3] {
+            let alg = registry
+                .resolve_str(&name, n)
+                .expect("benchmark specs resolve")
+                .automaton;
+            let report = certify_recoverable(alg.as_ref(), budget, &ExploreConfig::default());
+            let certified = report.certified_recoverable();
+            let honest = name != "broken-recover";
+            checks.push(RecoveryCheck {
+                algorithm: name.clone(),
+                n,
+                budget,
+                states: report.states,
+                certified,
+                ok: certified == honest,
+            });
+        }
+    }
+    checks
+}
+
+/// Per-(algorithm, budget) RMR-CC fits over the completed cells.
+#[must_use]
+pub fn fits(cells: &[CrashCell]) -> Vec<(String, usize, Fit)> {
+    let mut out = Vec::new();
+    for algorithm in algorithms() {
+        for &k in &BUDGETS {
+            let (ns, costs): (Vec<usize>, Vec<usize>) = cells
+                .iter()
+                .filter(|c| c.run.algorithm == algorithm && c.run.budget == k && c.run.completed())
+                .map(|c| (c.run.n, c.run.forced[RMR_CC]))
+                .unzip();
+            out.push((algorithm.clone(), k, fit_nlogn(&ns, &costs)));
+        }
+    }
+    out
+}
+
+/// Whether every cell dominated, replayed and held its baseline, and
+/// every certification verdict matched — the binary's exit criterion.
+#[must_use]
+pub fn all_clean(cells: &[CrashCell], checks: &[RecoveryCheck]) -> bool {
+    cells
+        .iter()
+        .all(|c| c.dominated && c.witness_ok && c.baseline_ok)
+        && checks.iter().all(|c| c.ok)
+}
+
+/// The human-readable table printed to stderr.
+#[must_use]
+pub fn to_text(cells: &[CrashCell], checks: &[RecoveryCheck]) -> String {
+    let mut out = String::from(
+        "algorithm        n  k   steps  inj  rmr-cc  cc-greedy  rmr-dsm   winner            ok\n",
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>2} {:>7} {:>4} {:>7} {:>10} {:>8}   {:<17} {}",
+            json_escape(&c.run.algorithm),
+            c.run.n,
+            c.run.budget,
+            c.run.steps,
+            c.run.injected,
+            c.run.forced[RMR_CC],
+            c.run.greedy[RMR_CC],
+            c.run.forced[1],
+            c.run.winner[RMR_CC],
+            if c.dominated && c.witness_ok && c.baseline_ok {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    out.push_str("fits (rmr-cc ~ c*n*log2 n):\n");
+    for (algorithm, k, fit) in fits(cells) {
+        let _ = writeln!(
+            out,
+            "  {:<12} k={k}  c = {:>8.2}  r2 = {:.3}",
+            algorithm, fit.c, fit.r2
+        );
+    }
+    out.push_str("certification cross-check (n in {2,3}):\n");
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "  {:<14} n={}  budget={}  states {:>6}  {:<12} {}",
+            c.algorithm,
+            c.n,
+            c.budget,
+            c.states,
+            if c.certified { "certified" } else { "refuted" },
+            if c.ok { "yes" } else { "NO" },
+        );
+    }
+    out
+}
+
+/// The JSON report written to `BENCH_crash.json`.
+#[must_use]
+pub fn to_json(cells: &[CrashCell], checks: &[RecoveryCheck], quick: bool) -> String {
+    let mut out = format!("{{\"schema\":\"{BENCH_SCHEMA}\",\"quick\":{quick},\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"n\":{},\"crashes\":{},\"injected\":{},\"steps\":{},\"forced\":{{{}}},\"adaptive\":{{{}}},\"greedy\":{{{}}},\"winner\":\"{}\",\"dominated\":{},\"witness_ok\":{},\"baseline_ok\":{},\"wall_ns\":{}}}",
+            json_escape(&c.run.algorithm),
+            c.run.n,
+            c.run.budget,
+            c.run.injected,
+            c.run.steps,
+            rmr_models_json(&c.run.forced),
+            rmr_models_json(&c.run.adaptive),
+            rmr_models_json(&c.run.greedy),
+            c.run.winner[RMR_CC],
+            c.dominated,
+            c.witness_ok,
+            c.baseline_ok,
+            c.wall_ns,
+        );
+    }
+    out.push_str("],\"fits\":[");
+    for (i, (algorithm, k, fit)) in fits(cells).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"crashes\":{k},\"c\":{:.6},\"r2\":{:.6}}}",
+            json_escape(algorithm),
+            fit.c,
+            fit.r2
+        );
+    }
+    out.push_str("],\"certify\":[");
+    for (i, c) in checks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"n\":{},\"budget\":{},\"states\":{},\"certified\":{},\"ok\":{}}}",
+            json_escape(&c.algorithm),
+            c.n,
+            c.budget,
+            c.states,
+            c.certified,
+            c.ok,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_locks_only_in_the_curves_and_the_planted_in_the_checks() {
+        let algs = algorithms();
+        assert!(algs.contains(&"rpeterson".to_string()));
+        assert!(algs.contains(&"rtas".to_string()));
+        assert!(!algs.contains(&"broken-recover".to_string()));
+        let checks = certifications();
+        assert!(checks
+            .iter()
+            .any(|c| c.algorithm == "broken-recover" && !c.certified && c.ok));
+        assert!(checks.iter().all(|c| c.ok));
+    }
+
+    #[test]
+    fn one_representative_cell_is_clean_and_serializes() {
+        let registry = AlgorithmRegistry::global();
+        let cfg = BoundConfig {
+            crashes: 2,
+            ..BoundConfig::default()
+        };
+        let alg = registry.resolve_str("rtas", 4).unwrap().automaton;
+        let run = force_crash(alg.as_ref(), &cfg);
+        assert!(run.completed());
+        assert!(run.forced[RMR_CC] >= run.greedy[RMR_CC]);
+        let cell = CrashCell {
+            run,
+            dominated: true,
+            witness_ok: true,
+            baseline_ok: true,
+            wall_ns: 1,
+        };
+        let check = RecoveryCheck {
+            algorithm: "broken-recover".into(),
+            n: 2,
+            budget: 2,
+            states: 163,
+            certified: false,
+            ok: true,
+        };
+        let cells = std::slice::from_ref(&cell);
+        let checks = std::slice::from_ref(&check);
+        assert!(all_clean(cells, checks));
+        let json = to_json(cells, checks, true);
+        assert!(json.contains("\"schema\":\"exclusion-bench-crash/v1\""));
+        assert!(json.contains("\"rmr-cc\""));
+        assert!(to_text(cells, checks).contains("rtas"));
+    }
+
+    #[test]
+    fn grids_scale_with_mode() {
+        assert_eq!(grid_for(true), vec![2, 4, 8]);
+        assert_eq!(grid_for(false), vec![2, 4, 8, 16]);
+    }
+}

@@ -12,7 +12,10 @@
 //! against the greedy baseline across the forced-cost grid and emits
 //! `BENCH_bound.json`; the `bench_trace` binary (module [`tracebench`])
 //! times the streaming pricer with the probe absent, disabled and
-//! collecting, gates the overhead, and emits `BENCH_trace.json`.
+//! collecting, gates the overhead, and emits `BENCH_trace.json`; the
+//! `bench_crash` binary (module [`crashbench`]) plays the crash-budget
+//! adversary game over the recoverable locks, cross-checks the
+//! exhaustive crash certification, and emits `BENCH_crash.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod boundbench;
+pub mod crashbench;
 pub mod dispatchbench;
 pub mod experiments;
 pub mod explorebench;

@@ -5,13 +5,13 @@
 
 use std::cell::RefCell;
 
-use exclusion_cost::{run_priced_probed, PricedRun};
+use exclusion_cost::{rmr_cc_cost, rmr_dsm_cost, run_priced_probed, PricedRun};
 use exclusion_mutex::registry::AlgorithmRegistry;
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
 use exclusion_shmem::probe::{NoProbe, Probe, SharedProbe, SpanScope, TraceEvent};
 use exclusion_shmem::sched::{GreedyAdversary, Script, Traced};
 use exclusion_shmem::spec::SpecError;
-use exclusion_shmem::{ProcessId, Scheduler};
+use exclusion_shmem::{faulted_script, run_faulted, FaultPlan, ProcessId, Scheduler, Step};
 
 use crate::adversary::AdaptiveAdversary;
 use crate::fit::{fit_nlogn, Fit};
@@ -37,6 +37,29 @@ pub fn models_json(costs: &[usize; 3]) -> String {
         .join(",")
 }
 
+/// The cost models a *crash* game is priced under, in the index order
+/// of every `[usize; 2]` in the crash-game API: cache-coherent remote
+/// memory references (a crash wipes the victim's cache, so crashes
+/// raise RMR-CC cost) and distributed-shared-memory RMRs (remoteness
+/// is topological, so RMR-DSM is crash-insensitive).
+pub const RMR_MODELS: [&str; 2] = ["rmr-cc", "rmr-dsm"];
+
+/// Index of the RMR-CC model in [`RMR_MODELS`]-ordered arrays.
+pub const RMR_CC: usize = 0;
+
+/// An [`RMR_MODELS`]-ordered cost array as the members of a JSON object
+/// (`"rmr-cc":1,"rmr-dsm":2`) — the formatter the crash-bound reports
+/// (`workload crash`, `bench_crash`) share.
+#[must_use]
+pub fn rmr_models_json(costs: &[usize; 2]) -> String {
+    RMR_MODELS
+        .iter()
+        .zip(costs)
+        .map(|(m, x)| format!("\"{m}\":{x}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// Bounds and knobs for one adversary game.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BoundConfig {
@@ -50,6 +73,11 @@ pub struct BoundConfig {
     /// Starvation-valve threshold for both strategies; `None` is the
     /// shared default of `4·n + 4` picks.
     pub patience: Option<usize>,
+    /// Crash budget granted to the fault driver per strategy run
+    /// (default 0 — the crash-free game). Only [`force_crash`] and
+    /// [`force_crash_curve`] read it: the classic [`force`] game is
+    /// crash-free by definition and ignores the field.
+    pub crashes: usize,
 }
 
 impl Default for BoundConfig {
@@ -59,6 +87,7 @@ impl Default for BoundConfig {
             max_steps: 50_000_000,
             seed: 0,
             patience: None,
+            crashes: 0,
         }
     }
 }
@@ -316,6 +345,228 @@ pub fn force_curve(
     })
 }
 
+/// The outcome of one *crash* adversary game: one algorithm at one `n`
+/// under one crash budget, priced under the RMR models.
+///
+/// The scheduling portfolio is the same as [`force`]'s (adaptive
+/// knowledge-partition strategy, then the greedy baseline), but every
+/// strategy run goes through the fault driver with a
+/// [`FaultPlan::in_critical`] plan of `budget` crashes — the plan that
+/// aims each crash at a critical-section occupant, the point where a
+/// recoverable lock has the most volatile state to lose. With budget 0
+/// the fault driver injects nothing and the game degenerates to the
+/// crash-free pipeline: the RMR-CC/RMR-DSM columns are then
+/// bit-identical to [`force`]'s CC/DSM columns (pinned by test).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CrashForcedRun {
+    /// Algorithm name (the automaton's own, or the registry label when
+    /// produced by [`force_crash_curve`]).
+    pub algorithm: String,
+    /// Process count.
+    pub n: usize,
+    /// Passage target per process.
+    pub passages: usize,
+    /// Crash budget handed to the fault driver per strategy run.
+    pub budget: usize,
+    /// Crashes actually injected in the RMR-CC-winning run (≤ budget;
+    /// a plan aiming at the critical section may not spend it all).
+    pub injected: usize,
+    /// Steps of the RMR-CC-winning run, crash steps included.
+    pub steps: usize,
+    /// Full step trace of the RMR-CC-winning run;
+    /// [`replay_artifacts`](CrashForcedRun::replay_artifacts) turns it
+    /// back into a `(Script, FaultPlan)` pair.
+    pub witness: Vec<Step>,
+    /// Forced cost per RMR model ([`RMR_MODELS`] order): the portfolio
+    /// maximum.
+    pub forced: [usize; 2],
+    /// Which strategy realized each forced cost.
+    pub winner: [&'static str; 2],
+    /// The adaptive strategy's cost per RMR model.
+    pub adaptive: [usize; 2],
+    /// The greedy baseline's cost per RMR model.
+    pub greedy: [usize; 2],
+    /// Why strategy runs failed, labeled per strategy (as in
+    /// [`ForcedRun::errors`]).
+    pub errors: Vec<String>,
+}
+
+impl CrashForcedRun {
+    /// The `(Script, FaultPlan)` pair that replays the RMR-CC-winning
+    /// run bit-identically through
+    /// [`run_faulted`].
+    #[must_use]
+    pub fn replay_artifacts(&self) -> (Script, FaultPlan) {
+        faulted_script(&self.witness)
+    }
+
+    /// Whether at least one portfolio strategy completed the game.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.winner[RMR_CC] != "none"
+    }
+}
+
+/// Runs one strategy through the fault driver and prices the recorded
+/// execution with the replay pricers (bit-identical to the streaming
+/// [`RmrTracker`](exclusion_cost::RmrTracker) by the cost crate's own
+/// pinning tests).
+fn play_faulted(
+    alg: &dyn DynAutomaton,
+    sched: impl Scheduler,
+    cfg: &BoundConfig,
+) -> Result<(Vec<Step>, [usize; 2]), String> {
+    let dref = DynRef(alg);
+    let mut sched = sched;
+    let mut plan = if cfg.crashes == 0 {
+        FaultPlan::none()
+    } else {
+        FaultPlan::in_critical(cfg.crashes)
+    };
+    let exec = run_faulted(&dref, &mut sched, &mut plan, cfg.passages, cfg.max_steps)
+        .map_err(|e| e.to_string())?;
+    let cc = rmr_cc_cost(&dref, &exec).map_err(|e| e.to_string())?;
+    let dsm = rmr_dsm_cost(&dref, &exec).map_err(|e| e.to_string())?;
+    Ok((exec.into_steps(), [cc.total(), dsm.total()]))
+}
+
+/// Plays the crash adversary game for one algorithm instance: every
+/// portfolio strategy runs through the fault driver with a fresh
+/// `cfg.crashes`-crash plan, each recorded run is priced under the RMR
+/// models, and the per-model best is kept (see [`CrashForcedRun`]).
+#[must_use]
+pub fn force_crash(alg: &dyn DynAutomaton, cfg: &BoundConfig) -> CrashForcedRun {
+    let adaptive = match cfg.patience {
+        None => AdaptiveAdversary::new(cfg.seed),
+        Some(p) => AdaptiveAdversary::with_patience(cfg.seed, p),
+    };
+    let greedy = match cfg.patience {
+        None => GreedyAdversary::new(),
+        Some(p) => GreedyAdversary::with_patience(p),
+    };
+    let mut run = CrashForcedRun {
+        algorithm: alg.name(),
+        n: alg.processes(),
+        passages: cfg.passages,
+        budget: cfg.crashes,
+        injected: 0,
+        steps: 0,
+        witness: Vec::new(),
+        forced: [0; 2],
+        winner: ["none"; 2],
+        adaptive: [0; 2],
+        greedy: [0; 2],
+        errors: Vec::new(),
+    };
+    let mut best: Option<(usize, Vec<Step>)> = None;
+    for (name, outcome) in [
+        ("fanlynch", play_faulted(alg, adaptive, cfg)),
+        ("greedy-adversary", play_faulted(alg, greedy, cfg)),
+    ] {
+        match outcome {
+            Ok((steps, costs)) => {
+                if name == "fanlynch" {
+                    run.adaptive = costs;
+                } else {
+                    run.greedy = costs;
+                }
+                for (m, &c) in costs.iter().enumerate() {
+                    // Strictly-greater keeps the adaptive strategy (run
+                    // first) as the winner on ties, as in `force`.
+                    if run.winner[m] == "none" || c > run.forced[m] {
+                        run.forced[m] = c;
+                        run.winner[m] = name;
+                    }
+                }
+                if best.as_ref().is_none_or(|&(b, _)| costs[RMR_CC] > b) {
+                    best = Some((costs[RMR_CC], steps));
+                }
+            }
+            Err(e) => run.errors.push(format!("{name}: {e}")),
+        }
+    }
+    if let Some((_, steps)) = best {
+        run.injected = steps
+            .iter()
+            .filter(|s| matches!(s, Step::Crash { .. }))
+            .count();
+        run.steps = steps.len();
+        run.witness = steps;
+    }
+    run
+}
+
+/// One row of a crash-forced grid: a crash budget swept over the `n`
+/// grid, with per-RMR-model `c·n·log₂n` fits over the completed cells.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CrashRow {
+    /// Crash budget of every cell in this row.
+    pub budget: usize,
+    /// One crash game per grid point, in grid order.
+    pub cells: Vec<CrashForcedRun>,
+    /// Per-RMR-model fits of the forced costs over the grid
+    /// ([`RMR_MODELS`] order).
+    pub fits: [Fit; 2],
+}
+
+/// A forced-RMR-cost-per-crash-budget grid: one [`CrashRow`] per entry
+/// of the swept budget list, each sweeping the same `n` grid.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CrashCurve {
+    /// Resolved registry label.
+    pub algorithm: String,
+    /// One row per crash budget, in sweep order.
+    pub rows: Vec<CrashRow>,
+}
+
+/// Plays the crash game for `spec` across the grid `ns` under each
+/// crash budget in `ks` (overriding `cfg.crashes` per row), and fits
+/// each row's forced RMR costs against `c·n·log₂n`. The `ks = [0]`
+/// grid reproduces the crash-free pipeline's CC/DSM columns exactly.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] when the spec does not parse, does not
+/// resolve, or a grid point is below the entry's `min_n` floor.
+pub fn force_crash_curve(
+    registry: &AlgorithmRegistry,
+    spec: &str,
+    ns: &[usize],
+    ks: &[usize],
+    cfg: &BoundConfig,
+) -> Result<CrashCurve, SpecError> {
+    let mut rows = Vec::with_capacity(ks.len());
+    let mut label = String::new();
+    for &k in ks {
+        let row_cfg = BoundConfig { crashes: k, ..*cfg };
+        let mut cells = Vec::with_capacity(ns.len());
+        for &n in ns {
+            let resolved = registry.resolve_str(spec, n)?;
+            label = resolved.label.clone();
+            let mut cell = force_crash(resolved.automaton.as_ref(), &row_cfg);
+            cell.algorithm = resolved.label;
+            cells.push(cell);
+        }
+        let fits = std::array::from_fn(|m| {
+            let (grid, costs): (Vec<usize>, Vec<usize>) = cells
+                .iter()
+                .filter(|c| c.completed())
+                .map(|c| (c.n, c.forced[m]))
+                .unzip();
+            fit_nlogn(&grid, &costs)
+        });
+        rows.push(CrashRow {
+            budget: k,
+            cells,
+            fits,
+        });
+    }
+    Ok(CrashCurve {
+        algorithm: label,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +657,112 @@ mod tests {
         assert_eq!(run.errors.len(), 2, "{:?}", run.errors);
         assert!(run.schedule.is_empty());
         assert_eq!(run.forced, [0; 3]);
+    }
+
+    /// With a zero crash budget the fault driver is inert, so the crash
+    /// game's RMR-CC/RMR-DSM columns are bit-identical to the classic
+    /// game's CC/DSM columns — the k = 0 row of every crash grid is the
+    /// existing no-crash pipeline, not a lookalike.
+    #[test]
+    fn zero_budget_crash_games_match_the_crash_free_pipeline() {
+        let reg = AlgorithmRegistry::standard();
+        let cfg = BoundConfig::default();
+        for spec in ["peterson", "rtas", "rpeterson"] {
+            let alg = reg.resolve_str(spec, 3).unwrap().automaton;
+            let plain = force(alg.as_ref(), &cfg);
+            let crash = force_crash(alg.as_ref(), &cfg);
+            assert!(crash.completed(), "{spec}: {:?}", crash.errors);
+            assert_eq!(crash.injected, 0, "{spec}");
+            assert_eq!(crash.forced, [plain.forced[1], plain.forced[2]], "{spec}");
+            assert_eq!(
+                crash.adaptive,
+                [plain.adaptive[1], plain.adaptive[2]],
+                "{spec}"
+            );
+            assert_eq!(crash.greedy, [plain.greedy[1], plain.greedy[2]], "{spec}");
+        }
+    }
+
+    #[test]
+    fn crash_games_dominate_both_strategies_and_the_witness_replays() {
+        let reg = AlgorithmRegistry::standard();
+        let cfg = BoundConfig {
+            crashes: 2,
+            ..BoundConfig::default()
+        };
+        for spec in ["rtas", "rpeterson"] {
+            let alg = reg.resolve_str(spec, 3).unwrap().automaton;
+            let run = force_crash(alg.as_ref(), &cfg);
+            assert!(
+                run.completed() && run.errors.is_empty(),
+                "{spec}: {:?}",
+                run.errors
+            );
+            assert!(run.injected <= run.budget, "{spec}");
+            for (m, model) in RMR_MODELS.iter().enumerate() {
+                assert!(run.forced[m] >= run.greedy[m], "{spec} {model}");
+                assert_eq!(
+                    run.forced[m],
+                    run.adaptive[m].max(run.greedy[m]),
+                    "{spec} {model}"
+                );
+            }
+            // The recorded witness replays bit-identically through the
+            // fault driver and re-prices to the forced RMR-CC cost.
+            let (mut script, mut plan) = run.replay_artifacts();
+            let replayed = run_faulted(
+                &DynRef(alg.as_ref()),
+                &mut script,
+                &mut plan,
+                cfg.passages,
+                run.steps + 1,
+            )
+            .unwrap();
+            assert_eq!(replayed.steps(), run.witness.as_slice(), "{spec}");
+            let winner = if run.winner[RMR_CC] == "fanlynch" {
+                run.adaptive[RMR_CC]
+            } else {
+                run.greedy[RMR_CC]
+            };
+            let cc = rmr_cc_cost(&DynRef(alg.as_ref()), &replayed).unwrap();
+            assert_eq!(cc.total(), winner, "{spec}");
+        }
+    }
+
+    #[test]
+    fn crash_games_are_deterministic() {
+        let reg = AlgorithmRegistry::standard();
+        let alg = reg.resolve_str("rtas", 4).unwrap().automaton;
+        let cfg = BoundConfig {
+            crashes: 2,
+            seed: 7,
+            ..BoundConfig::default()
+        };
+        let a = force_crash(alg.as_ref(), &cfg);
+        let b = force_crash(alg.as_ref(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_curves_sweep_budgets_and_reproduce_the_crash_free_row() {
+        let reg = AlgorithmRegistry::standard();
+        let cfg = BoundConfig::default();
+        let curve = force_crash_curve(&reg, "rtas", &[2, 3], &[0, 1, 2], &cfg).unwrap();
+        assert_eq!(curve.algorithm, "rtas");
+        assert_eq!(curve.rows.len(), 3);
+        let plain = force_curve(&reg, "rtas", &[2, 3], &cfg).unwrap();
+        for (row, &k) in curve.rows.iter().zip(&[0usize, 1, 2]) {
+            assert_eq!(row.budget, k);
+            assert_eq!(row.cells.len(), 2);
+            assert!(row.cells.iter().all(CrashForcedRun::completed));
+        }
+        for (crash_cell, plain_cell) in curve.rows[0].cells.iter().zip(&plain.cells) {
+            assert_eq!(
+                crash_cell.forced,
+                [plain_cell.forced[1], plain_cell.forced[2]],
+                "k = 0 row is the no-crash pipeline"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //!   model (SC/CC/DSM) and a replayable [`Script`] witness schedule;
 //! * [`force_curve`] — sweeps a grid of `n` (typically the doubling
 //!   grid 4..128) and reports a per-model least-squares [`Fit`] against
-//!   the paper's `c·n·log₂n` growth law.
+//!   the paper's `c·n·log₂n` growth law;
+//! * [`force_crash`] / [`force_crash_curve`] — the *crash* game: the
+//!   same portfolio played through the fault driver under a bounded
+//!   crash budget, priced in remote memory references (RMR-CC /
+//!   RMR-DSM) — the currency of the recoverable-mutual-exclusion
+//!   literature — with budget 0 reproducing the crash-free pipeline's
+//!   CC/DSM columns bit-identically.
 //!
 //! The adversary plays *fair* games: the same starvation valve as the
 //! greedy adversary bounds how long any live process is ignored, so
@@ -62,6 +68,7 @@ pub mod force;
 pub use adversary::AdaptiveAdversary;
 pub use fit::{doubling_grid, fit_nlogn, nlogn, Fit};
 pub use force::{
-    force, force_curve, force_probed, models_json, register_only, BoundConfig, BoundCurve,
-    ForcedRun, MODELS, SC,
+    force, force_crash, force_crash_curve, force_curve, force_probed, models_json, register_only,
+    rmr_models_json, BoundConfig, BoundCurve, CrashCurve, CrashForcedRun, CrashRow, ForcedRun,
+    MODELS, RMR_CC, RMR_MODELS, SC,
 };

@@ -238,6 +238,9 @@ fn step_key(s: &Step) -> (usize, u8, usize, Value) {
         // them before any is created), but the key stays total.
         Step::Rmw { pid, reg, .. } => (pid.index(), 3, reg.index(), 0),
         Step::Crit { pid, kind } => (pid.index(), 2, kind as usize, 0),
+        // Crashes never enter metasteps either (the legacy construction
+        // predates fault injection), but the key stays total.
+        Step::Crash { pid } => (pid.index(), 4, 0, 0),
     }
 }
 

@@ -66,7 +66,8 @@
 // importing the trait alongside `Automaton` would make method calls on
 // types implementing both (i.e. every automaton) ambiguous.
 use exclusion_shmem::dynamic::{self, DynRef};
-use exclusion_shmem::probe::{NoProbe, Probe, TraceEvent};
+use exclusion_shmem::fault::{run_faulted_with, FaultPlan};
+use exclusion_shmem::probe::{NoProbe, Probe, SharedProbe, TraceEvent};
 use exclusion_shmem::sched::run_scheduler_with;
 use exclusion_shmem::{
     replay, Automaton, Executed, Execution, ProcessId, RegisterId, ReplayError, RunError,
@@ -183,9 +184,64 @@ pub fn cc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, Re
                 c[reg.index()] = i == pid.index();
             }
         }
+        // The failure-free CC model is crash-oblivious: crash-free runs
+        // price identically whether or not faults *could* have happened.
+        // The crash-aware flavor is [`rmr_cc_cost`].
+        Step::Crit { .. } | Step::Crash { .. } => {}
+    })?;
+    Ok(report)
+}
+
+/// The **RMR (CC flavor)** cost of a possibly-crashed execution: the
+/// cache-coherent rules of [`cc_cost`], extended with the
+/// Golab–Ramaraju crash semantics — a [`Step::Crash`] wipes the crashed
+/// process's entire cache (its volatile state, cache included, is
+/// lost), so every register it re-reads after recovery is a fresh
+/// remote memory reference. The crash step itself is free.
+///
+/// On crash-free executions this is **bit-identical** to [`cc_cost`]
+/// (pinned by tests): the models differ only in how they price
+/// recovery.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn rmr_cc_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
+    let n = alg.processes();
+    let regs = alg.registers();
+    let mut report = CostReport::new(n, regs);
+    let mut cached = vec![vec![false; regs]; n];
+    replay(alg, exec.steps(), |o| match o.step {
+        Step::Read { pid, reg } => {
+            if !cached[pid.index()][reg.index()] {
+                report.charge(pid, reg);
+                cached[pid.index()][reg.index()] = true;
+            }
+        }
+        Step::Write { pid, reg, .. } | Step::Rmw { pid, reg, .. } => {
+            report.charge(pid, reg);
+            for (i, c) in cached.iter_mut().enumerate() {
+                c[reg.index()] = i == pid.index();
+            }
+        }
+        Step::Crash { pid } => cached[pid.index()].fill(false),
         Step::Crit { .. } => {}
     })?;
     Ok(report)
+}
+
+/// The **RMR (DSM flavor)** cost of a possibly-crashed execution. In
+/// the DSM model remoteness is a static property of the register's
+/// home, not of any volatile cache, so a crash changes nothing about
+/// how later accesses are priced — this is exactly [`dsm_cost`], which
+/// already prices crash steps at zero. The alias exists so callers can
+/// name both RMR flavors symmetrically.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the execution was not produced by `alg`.
+pub fn rmr_dsm_cost<A: Automaton>(alg: &A, exec: &Execution) -> Result<CostReport, ReplayError> {
+    dsm_cost(alg, exec)
 }
 
 /// The distributed-shared-memory cost: one unit per access to a register
@@ -314,7 +370,9 @@ impl CostTracker {
                 self.invalidated[reg.index()] = self.clock;
                 self.touched[pid.index() * self.registers + reg.index()] = self.clock;
             }
-            Step::Crit { .. } => {}
+            // Crash steps are free in the failure-free models (the
+            // crash-aware CC flavor lives in [`RmrTracker`]).
+            Step::Crit { .. } | Step::Crash { .. } => {}
         }
         if let Some(reg) = step.register() {
             if self.home[reg.index()] != Some(step.pid()) {
@@ -402,6 +460,125 @@ impl CostTracker {
     }
 }
 
+/// Streaming **RMR** (remote-memory-reference) pricer for
+/// possibly-crashed runs — the fourth cost model, in its two standard
+/// flavors:
+///
+/// * **RMR-CC**: the write-invalidate cache rules of the CC model,
+///   plus the Golab–Ramaraju crash rule — a crash wipes the crashed
+///   process's cache, so post-recovery re-reads are remote again;
+/// * **RMR-DSM**: remoteness by static register home, insensitive to
+///   crashes.
+///
+/// Both are O(1) per step: the crash wipe is an epoch bump
+/// (`crashed_at[p] = clock`), not an O(registers) clear. On crash-free
+/// runs `rmr_cc` is bit-identical to [`CostTracker`]'s CC and
+/// `rmr_dsm` to its DSM (pinned by tests); totals also match the
+/// replay pricers [`rmr_cc_cost`]/[`rmr_dsm_cost`] on the recorded
+/// execution of the same run.
+#[derive(Clone, Debug)]
+pub struct RmrTracker {
+    registers: usize,
+    rmr_cc: CostReport,
+    rmr_dsm: CostReport,
+    /// Epoch at which process `p` last touched register `ℓ` (row-major
+    /// `p * registers + ℓ`); 0 means never.
+    touched: Vec<usize>,
+    /// Epoch of the last write (or RMW) to each register.
+    invalidated: Vec<usize>,
+    /// Epoch of each process's last crash; 0 means never. A cached copy
+    /// survives a crash only if it was touched *after* it.
+    crashed_at: Vec<usize>,
+    clock: usize,
+    crashes: usize,
+    home: Vec<Option<ProcessId>>,
+}
+
+impl RmrTracker {
+    /// A tracker for runs of `alg`, starting from zero cost.
+    #[must_use]
+    pub fn new<A: Automaton>(alg: &A) -> Self {
+        let n = alg.processes();
+        let registers = alg.registers();
+        RmrTracker {
+            registers,
+            rmr_cc: CostReport::new(n, registers),
+            rmr_dsm: CostReport::new(n, registers),
+            touched: vec![0; n * registers],
+            invalidated: vec![0; registers],
+            crashed_at: vec![0; n],
+            clock: 0,
+            crashes: 0,
+            home: RegisterId::all(registers)
+                .map(|r| alg.register_home(r))
+                .collect(),
+        }
+    }
+
+    /// Prices one executed step (crash steps included) under both RMR
+    /// flavors.
+    pub fn observe(&mut self, done: &Executed) {
+        self.clock += 1;
+        match done.step {
+            Step::Read { pid, reg } => {
+                let cell = &mut self.touched[pid.index() * self.registers + reg.index()];
+                if *cell == 0
+                    || *cell < self.invalidated[reg.index()]
+                    || *cell <= self.crashed_at[pid.index()]
+                {
+                    self.rmr_cc.charge(pid, reg);
+                }
+                *cell = self.clock;
+            }
+            Step::Write { pid, reg, .. } | Step::Rmw { pid, reg, .. } => {
+                self.rmr_cc.charge(pid, reg);
+                self.invalidated[reg.index()] = self.clock;
+                self.touched[pid.index() * self.registers + reg.index()] = self.clock;
+            }
+            Step::Crash { pid } => {
+                self.crashes += 1;
+                self.crashed_at[pid.index()] = self.clock;
+            }
+            Step::Crit { .. } => {}
+        }
+        if let Some(reg) = done.step.register() {
+            if self.home[reg.index()] != Some(done.step.pid()) {
+                self.rmr_dsm.charge(done.step.pid(), reg);
+            }
+        }
+    }
+
+    /// Steps priced so far (crash steps included).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.clock
+    }
+
+    /// Crash steps priced so far.
+    #[must_use]
+    pub fn crashes(&self) -> usize {
+        self.crashes
+    }
+
+    /// The RMR cost in the CC flavor accumulated so far.
+    #[must_use]
+    pub fn rmr_cc(&self) -> &CostReport {
+        &self.rmr_cc
+    }
+
+    /// The RMR cost in the DSM flavor accumulated so far.
+    #[must_use]
+    pub fn rmr_dsm(&self) -> &CostReport {
+        &self.rmr_dsm
+    }
+
+    /// Consumes the tracker, returning `(rmr_cc, rmr_dsm)`.
+    #[must_use]
+    pub fn into_reports(self) -> (CostReport, CostReport) {
+        (self.rmr_cc, self.rmr_dsm)
+    }
+}
+
 /// All three costs of one streamed run, plus its length — what
 /// [`run_priced`] returns instead of a recorded execution.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -468,6 +645,84 @@ where
     })?;
     let (sc, cc, dsm) = tracker.into_reports();
     Ok(PricedRun { steps, sc, cc, dsm })
+}
+
+/// All five costs of one streamed *faulted* run — the three
+/// failure-free models plus both RMR flavors — and its crash count.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultedRun {
+    /// Steps the run took (crash steps included).
+    pub steps: usize,
+    /// Crashes the fault plan injected.
+    pub crashes: usize,
+    /// State-change (SC) cost; crash steps are free.
+    pub sc: CostReport,
+    /// Cache-coherent (CC) cost, crash-oblivious.
+    pub cc: CostReport,
+    /// Distributed-shared-memory (DSM) cost, crash-oblivious.
+    pub dsm: CostReport,
+    /// RMR cost, CC flavor: a crash wipes the victim's cache.
+    pub rmr_cc: CostReport,
+    /// RMR cost, DSM flavor (identical to `dsm` by construction).
+    pub rmr_dsm: CostReport,
+}
+
+/// Drives `sched` with crashes injected by `plan` and prices the run
+/// under all five models in one streaming pass — the faulted twin of
+/// [`run_priced_probed`]. With [`FaultPlan::none`] the run itself and
+/// the `sc`/`cc`/`dsm` columns are bit-identical to [`run_priced`]'s,
+/// and `rmr_cc`/`rmr_dsm` coincide with `cc`/`dsm` (pinned by tests) —
+/// which is what keeps no-crash baselines comparable across the two
+/// pipelines.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if the run does not complete within `max_steps`.
+pub fn run_priced_faulted<A, S, P>(
+    alg: &A,
+    sched: &mut S,
+    plan: &mut FaultPlan,
+    passages: usize,
+    max_steps: usize,
+    mut probe: P,
+) -> Result<FaultedRun, RunError>
+where
+    A: Automaton,
+    S: Scheduler + ?Sized,
+    P: Probe,
+{
+    let mut tracker = CostTracker::new(alg);
+    let mut rmr = RmrTracker::new(alg);
+    // The driver emits Crash/Recover while the pricer emits
+    // Executed/Charged from the sink: both observe the same run through
+    // a shared handle (runs are single-threaded).
+    let cell = std::cell::RefCell::new(&mut probe);
+    let mut driver_probe = SharedProbe::new(&cell);
+    let mut sink_probe = driver_probe;
+    let steps = run_faulted_with(
+        alg,
+        sched,
+        plan,
+        passages,
+        max_steps,
+        &mut driver_probe,
+        |done| {
+            tracker.observe_probed(done, &mut sink_probe);
+            rmr.observe(done);
+        },
+    )?;
+    let crashes = rmr.crashes();
+    let (sc, cc, dsm) = tracker.into_reports();
+    let (rmr_cc, rmr_dsm) = rmr.into_reports();
+    Ok(FaultedRun {
+        steps,
+        crashes,
+        sc,
+        cc,
+        dsm,
+        rmr_cc,
+        rmr_dsm,
+    })
 }
 
 /// [`run_priced`] for an erased algorithm handle — the streaming
@@ -713,6 +968,123 @@ mod tests {
         assert_eq!(sc, probed.sc.total());
         assert_eq!(cc, probed.cc.total());
         assert_eq!(dsm, probed.dsm.total());
+    }
+
+    #[test]
+    fn rmr_flavors_match_cc_and_dsm_on_crash_free_runs() {
+        use exclusion_shmem::sched::{run_scheduler, GreedyAdversary};
+        for alg in AnyAlgorithm::full_suite(4) {
+            let exec = run_scheduler(&alg, &mut GreedyAdversary::new(), 2, 50_000_000).unwrap();
+            let cc = cc_cost(&alg, &exec).unwrap();
+            let dsm = dsm_cost(&alg, &exec).unwrap();
+            assert_eq!(rmr_cc_cost(&alg, &exec).unwrap(), cc, "{}", alg.name());
+            assert_eq!(rmr_dsm_cost(&alg, &exec).unwrap(), dsm, "{}", alg.name());
+            // The streaming tracker agrees bit-for-bit.
+            let mut rmr = RmrTracker::new(&alg);
+            let mut sys = exclusion_shmem::System::new(&alg);
+            for s in exec.steps() {
+                let done = sys.execute_expected(*s).unwrap();
+                rmr.observe(&done);
+            }
+            assert_eq!(rmr.rmr_cc(), &cc, "{}", alg.name());
+            assert_eq!(rmr.rmr_dsm(), &dsm, "{}", alg.name());
+            assert_eq!(rmr.crashes(), 0);
+        }
+    }
+
+    #[test]
+    fn crashes_reprice_recovery_reads_under_rmr_cc_only() {
+        use exclusion_shmem::fault::run_faulted;
+        use exclusion_shmem::sched::RoundRobin;
+        let alg = Peterson::new(2);
+        let mut plan = FaultPlan::in_critical(2);
+        let exec = run_faulted(&alg, &mut RoundRobin::new(), &mut plan, 1, 100_000).unwrap();
+        assert_eq!(exec.crash_count(), 2);
+        let cc = cc_cost(&alg, &exec).unwrap();
+        let rmr_cc = rmr_cc_cost(&alg, &exec).unwrap();
+        // A wiped cache can only make reads *more* expensive.
+        assert!(rmr_cc.total() >= cc.total());
+        // DSM flavor is insensitive to crashes.
+        assert_eq!(
+            rmr_dsm_cost(&alg, &exec).unwrap(),
+            dsm_cost(&alg, &exec).unwrap()
+        );
+        // Streaming matches replay on the crashed execution too.
+        let mut rmr = RmrTracker::new(&alg);
+        let mut sys = exclusion_shmem::System::new(&alg);
+        for s in exec.steps() {
+            let done = sys.execute_expected(*s).unwrap();
+            rmr.observe(&done);
+        }
+        assert_eq!(rmr.rmr_cc(), &rmr_cc);
+        assert_eq!(rmr.crashes(), 2);
+    }
+
+    #[test]
+    fn faulted_pricing_with_no_plan_matches_run_priced() {
+        use exclusion_shmem::sched::GreedyAdversary;
+        let alg = Peterson::new(3);
+        let unfaulted = run_priced(&alg, &mut GreedyAdversary::new(), 2, 100_000).unwrap();
+        let mut plan = FaultPlan::none();
+        let faulted = run_priced_faulted(
+            &alg,
+            &mut GreedyAdversary::new(),
+            &mut plan,
+            2,
+            100_000,
+            NoProbe,
+        )
+        .unwrap();
+        assert_eq!(faulted.steps, unfaulted.steps);
+        assert_eq!(faulted.crashes, 0);
+        assert_eq!(faulted.sc, unfaulted.sc);
+        assert_eq!(faulted.cc, unfaulted.cc);
+        assert_eq!(faulted.dsm, unfaulted.dsm);
+        assert_eq!(faulted.rmr_cc, unfaulted.cc);
+        assert_eq!(faulted.rmr_dsm, unfaulted.dsm);
+    }
+
+    #[test]
+    fn faulted_pricing_emits_crash_events_and_counts() {
+        use exclusion_shmem::sched::RoundRobin;
+        struct Collect(Vec<TraceEvent>);
+        impl Probe for Collect {
+            fn record(&mut self, ev: &TraceEvent) {
+                self.0.push(*ev);
+            }
+        }
+        let alg = Peterson::new(2);
+        let mut plan = FaultPlan::in_critical(1);
+        let mut collect = Collect(Vec::new());
+        let run = run_priced_faulted(
+            &alg,
+            &mut RoundRobin::new(),
+            &mut plan,
+            1,
+            100_000,
+            &mut collect,
+        )
+        .unwrap();
+        assert_eq!(run.crashes, 1);
+        let crash_events = collect
+            .0
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Crash { .. }))
+            .count();
+        let recover_events = collect
+            .0
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Recover { .. }))
+            .count();
+        assert_eq!(crash_events, 1);
+        assert_eq!(recover_events, 1);
+        // Executed events cover every step, crash step included.
+        let executed = collect
+            .0
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Executed { .. }))
+            .count();
+        assert_eq!(executed, run.steps);
     }
 
     #[test]

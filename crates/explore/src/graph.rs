@@ -55,6 +55,15 @@ pub(crate) trait CostLens: Sync {
     /// Advances the digest over one executed step and returns the
     /// step's charge.
     fn price(&self, digest: &mut Self::Digest, done: &Executed) -> u32;
+
+    /// How many more crash injections the explorer may branch on from a
+    /// node with this digest. The default of `0` disables crash
+    /// expansion entirely, so the cost-model lenses explore exactly the
+    /// crash-free snapshot graph they always did; only the crash
+    /// certification lens overrides this with its remaining budget.
+    fn crash_allowance(&self, _digest: &Self::Digest) -> usize {
+        0
+    }
 }
 
 /// The state-change model of Definition 3.1: one unit per shared step
@@ -130,7 +139,47 @@ impl CostLens for CcLens {
                 1
             }
             Step::Crit { .. } => 0,
+            // A crash wipes the crashed process's cache: its next read of
+            // every register is a miss again. The crash step itself is free,
+            // matching the replay pricer's `rmr_cc_cost`.
+            Step::Crash { pid } => {
+                let bit = 1u64 << pid.index();
+                for line in digest.iter_mut() {
+                    *line &= !bit;
+                }
+                0
+            }
         }
+    }
+}
+
+/// The crash-certification lens: the digest counts crashes injected so
+/// far, so the explored space is the product of snapshots and
+/// crashes-used — two paths reaching the same snapshot with different
+/// remaining budgets are distinct nodes, because their futures differ.
+/// Edge charges are irrelevant to a safety verdict, so every step
+/// prices to zero.
+pub(crate) struct CrashLens {
+    /// Total crash injections the adversary may spend.
+    pub budget: usize,
+}
+
+impl CostLens for CrashLens {
+    type Digest = u8;
+
+    fn initial(&self, _registers: usize) -> Self::Digest {
+        0
+    }
+
+    fn price(&self, digest: &mut Self::Digest, done: &Executed) -> u32 {
+        if matches!(done.step, exclusion_shmem::Step::Crash { .. }) {
+            *digest += 1;
+        }
+        0
+    }
+
+    fn crash_allowance(&self, digest: &Self::Digest) -> usize {
+        self.budget.saturating_sub(*digest as usize)
     }
 }
 
@@ -146,6 +195,10 @@ pub(crate) struct FlatNode {
     pub parent: u32,
     /// The process whose step led here from `parent`.
     pub via: ProcessId,
+    /// Whether the edge from `parent` was an injected crash of `via`
+    /// rather than an ordinary step (always `false` for the cost-model
+    /// lenses, whose crash allowance is zero).
+    pub via_crash: bool,
     /// Whether every process has completed the passage target.
     pub goal: bool,
     /// Whether two processes are simultaneously in the critical section.
@@ -212,10 +265,21 @@ impl BuiltGraph {
     /// The schedule (pid sequence) of the parent chain from the root to
     /// `id` — always a valid executable schedule.
     pub(crate) fn schedule_to(&self, id: u32) -> Vec<ProcessId> {
+        self.steps_to(id).into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// The parent chain as `(pid, crashed)` picks: `crashed` marks the
+    /// indices where the edge was an injected crash rather than an
+    /// ordinary step. Re-executing the chain (stepping on `false`,
+    /// crashing on `true`) reproduces the node's system state exactly.
+    pub(crate) fn steps_to(&self, id: u32) -> Vec<(ProcessId, bool)> {
         let mut out = Vec::new();
         let mut at = id;
         while self.nodes[at as usize].parent != NO_PARENT {
-            out.push(self.nodes[at as usize].via);
+            out.push((
+                self.nodes[at as usize].via,
+                self.nodes[at as usize].via_crash,
+            ));
             at = self.nodes[at as usize].parent;
         }
         out.reverse();
@@ -407,6 +471,7 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
             depth: 0,
             parent: NO_PARENT,
             via: ProcessId::new(0),
+            via_crash: false,
             goal: root_goal,
             violating: false,
             succs: Vec::new(),
@@ -459,50 +524,65 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
                                 }
                                 let base = System::from_snapshot(&dref, snap);
                                 let mut succs = Vec::new();
-                                for p in ProcessId::all(n) {
-                                    if snap.passages()[p.index()] >= cfg.passages {
-                                        continue;
+                                // Ordinary steps first, then (budget
+                                // permitting) one crash injection per
+                                // incomplete process — both in pid order,
+                                // so parent races resolve to the same
+                                // lexicographic witness order crash-free
+                                // builds have always had.
+                                let crashes = lens.crash_allowance(digest) > 0;
+                                for crashed in [false, true] {
+                                    if crashed && !crashes {
+                                        break;
                                     }
-                                    let mut sys = base.clone();
-                                    let done = sys.step(p);
-                                    let mut d2 = digest.clone();
-                                    let cost = lens.price(&mut d2, &done);
-                                    let snap2 = sys.snapshot();
-                                    let goal = snap2.passages().iter().all(|&q| q >= cfg.passages);
-                                    let violating = snap2.in_critical().nth(1).is_some();
-                                    let (tid, fresh) = table.insert(
-                                        &snap2,
-                                        &d2,
-                                        FlatNode {
-                                            depth: depth + 1,
-                                            parent: *id,
-                                            via: p,
-                                            goal,
-                                            violating,
-                                            succs: Vec::new(),
-                                        },
-                                    );
-                                    inserts += 1;
-                                    succs.push((p, tid, cost));
-                                    if fresh {
-                                        if violating {
-                                            // Record it but *complete the layer*:
-                                            // the set of interned states stays
-                                            // worker-count independent, and every
-                                            // violation in the layer is at the
-                                            // same (minimal) depth. The layer
-                                            // loop below halts before the next
-                                            // layer.
-                                            violations
-                                                .lock()
-                                                .expect("violations poisoned")
-                                                .push(tid);
+                                    for p in ProcessId::all(n) {
+                                        if snap.passages()[p.index()] >= cfg.passages {
+                                            continue;
                                         }
-                                        if table.count.load(Ordering::Relaxed) > cfg.max_states {
-                                            truncated.store(true, Ordering::Relaxed);
-                                            stop.store(true, Ordering::Relaxed);
+                                        let mut sys = base.clone();
+                                        let done = if crashed { sys.crash(p) } else { sys.step(p) };
+                                        let mut d2 = digest.clone();
+                                        let cost = lens.price(&mut d2, &done);
+                                        let snap2 = sys.snapshot();
+                                        let goal =
+                                            snap2.passages().iter().all(|&q| q >= cfg.passages);
+                                        let violating = snap2.in_critical().nth(1).is_some();
+                                        let (tid, fresh) = table.insert(
+                                            &snap2,
+                                            &d2,
+                                            FlatNode {
+                                                depth: depth + 1,
+                                                parent: *id,
+                                                via: p,
+                                                via_crash: crashed,
+                                                goal,
+                                                violating,
+                                                succs: Vec::new(),
+                                            },
+                                        );
+                                        inserts += 1;
+                                        succs.push((p, tid, cost));
+                                        if fresh {
+                                            if violating {
+                                                // Record it but *complete the layer*:
+                                                // the set of interned states stays
+                                                // worker-count independent, and every
+                                                // violation in the layer is at the
+                                                // same (minimal) depth. The layer
+                                                // loop below halts before the next
+                                                // layer.
+                                                violations
+                                                    .lock()
+                                                    .expect("violations poisoned")
+                                                    .push(tid);
+                                            }
+                                            if table.count.load(Ordering::Relaxed) > cfg.max_states
+                                            {
+                                                truncated.store(true, Ordering::Relaxed);
+                                                stop.store(true, Ordering::Relaxed);
+                                            }
+                                            local.push((tid, snap2, d2));
                                         }
-                                        local.push((tid, snap2, d2));
                                     }
                                 }
                                 table.set_succs(*id, succs);

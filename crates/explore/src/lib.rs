@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 mod graph;
 pub mod report;
 pub mod verdict;
@@ -74,6 +75,9 @@ use exclusion_mutex::broken::RacyBool;
 use exclusion_mutex::registry::{AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry};
 use exclusion_shmem::probe::{NoProbe, Probe, SpanScope, TraceEvent};
 
+pub use crash::{
+    certify_recoverable, certify_recoverable_probed, CrashCounterexample, CrashReport,
+};
 pub use verdict::{explore, explore_probed, Counterexample, ExploreReport, Hazard, HazardKind};
 pub use worst::{price_schedule, worst_case, worst_case_probed, WorstCaseReport, WorstCost};
 
@@ -274,6 +278,7 @@ pub fn conformance_registry() -> AlgorithmRegistry {
             summary: "deliberately unsafe non-atomic test-and-set (failure injection)".into(),
             min_n: 2,
             uses_rmw: false,
+            recoverable: false,
             cost_class: "unsafe".into(),
             params: vec![],
         },
@@ -442,8 +447,9 @@ mod tests {
     #[test]
     fn conformance_registry_adds_broken_without_touching_the_suite() {
         let reg = conformance_registry();
-        assert_eq!(reg.names().len(), 12);
+        assert_eq!(reg.names().len(), 15);
         assert!(reg.get("broken").is_some());
+        assert!(reg.get("broken-recover").is_some(), "crash-planted twin");
         assert!(reg.get("racy-bool").is_some(), "alias resolves");
         let broken = reg.resolve_str("broken", 2).unwrap();
         assert_eq!(broken.automaton.name(), "racy-bool");

@@ -18,6 +18,14 @@
 //! model, but priced by the same cost models for comparison; the
 //! lower-bound construction rejects them with a diagnostic.
 //!
+//! The [`recover`] module adds *crash-recoverable* locks for the
+//! fault-injection model ([`exclusion_shmem::fault`]): [`RPeterson`]
+//! (tournament with a Golab–Ramaraju-style healing pass), [`RTas`]
+//! (CAS lock whose register records the owner), and the deliberately
+//! broken [`BrokenRecover`] whose recovery leaks other processes'
+//! critical sections — the planted bug crash-aware certification must
+//! catch.
+//!
 //! Every algorithm is exhaustively model-checked for small `n` in this
 //! crate's tests; the deliberately broken locks in [`broken`] and the
 //! subtly racy [`stale_tournament`] reconstruction verify that the
@@ -49,6 +57,7 @@ pub mod dekker;
 pub mod dijkstra;
 pub mod filter;
 pub mod peterson;
+pub mod recover;
 pub mod registry;
 pub mod rmw;
 pub mod stale_tournament;
@@ -61,6 +70,7 @@ pub use dekker::DekkerTournament;
 pub use dijkstra::Dijkstra;
 pub use filter::Filter;
 pub use peterson::Peterson;
+pub use recover::{BrokenRecover, RPeterson, RTas};
 pub use registry::{
     AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry, DynAlgorithm, ResolvedAlgorithm,
 };

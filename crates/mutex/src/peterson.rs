@@ -90,6 +90,19 @@ impl Peterson {
         self.tree.levels()
     }
 
+    /// Tournament depth — exposed for the recoverable wrapper in
+    /// [`crate::recover`], whose healing pass walks the levels top-down.
+    pub(crate) fn level_count(&self) -> usize {
+        self.levels()
+    }
+
+    /// The acting process's own flag register at `level` — what the
+    /// recoverable wrapper's healing pass lowers.
+    pub(crate) fn own_flag(&self, pid: ProcessId, level: u8) -> RegisterId {
+        let h = self.tree.hop(pid.index(), level as usize);
+        self.flag_reg(h.node, h.side)
+    }
+
     fn won(&self, level: u8) -> PetersonState {
         if (level as usize) + 1 < self.levels() {
             PetersonState {

@@ -33,6 +33,7 @@
 //!         summary: "single-register token ring".into(),
 //!         min_n: 1,
 //!         uses_rmw: false,
+//!         recoverable: false,
 //!         cost_class: "Θ(n) handoff".into(),
 //!         params: vec![],
 //!     },
@@ -52,7 +53,10 @@ use exclusion_shmem::dynamic::DynAutomaton;
 use exclusion_shmem::spec::{suggest, ParamInfo, Spec, SpecError};
 
 use crate::rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
-use crate::{Bakery, BurnsLynch, DekkerTournament, Dijkstra, Filter, Peterson};
+use crate::{
+    Bakery, BrokenRecover, BurnsLynch, DekkerTournament, Dijkstra, Filter, Peterson, RPeterson,
+    RTas,
+};
 
 /// A shared, thread-safe erased algorithm handle — what the registry
 /// hands out and what scenarios hold for the lifetime of a sweep.
@@ -76,6 +80,12 @@ pub struct AlgorithmInfo {
     /// therefore outside the paper's register-only model — the
     /// lower-bound construction rejects it).
     pub uses_rmw: bool,
+    /// Whether the algorithm *claims* to tolerate crash-recovery faults
+    /// (a recovery section repairs shared memory after a crash wipes
+    /// volatile state). A claim, not a certificate: the `explore`
+    /// crate's crash-aware certification is what validates it — and
+    /// what catches the planted `broken-recover` lock lying here.
+    pub recoverable: bool,
     /// Asymptotic canonical SC cost, as a display string (`"Θ(n log n)"`).
     pub cost_class: String,
     /// Parameters the entry accepts in `name:key=value,…` specs.
@@ -131,6 +141,9 @@ pub struct ResolvedAlgorithm {
     pub label: String,
     /// Whether the algorithm uses RMW primitives.
     pub uses_rmw: bool,
+    /// Whether the algorithm claims crash-recoverability
+    /// (see [`AlgorithmInfo::recoverable`]).
+    pub recoverable: bool,
     /// The erased automaton, configured for the resolved `n`.
     pub automaton: DynAlgorithm,
 }
@@ -164,8 +177,10 @@ impl AlgorithmRegistry {
     }
 
     /// The built-in suite: the six register-only algorithms of the
-    /// paper's model followed by the five RMW-based locks, in the
-    /// stable report order `AnyAlgorithm::full_suite` uses.
+    /// paper's model, the five RMW-based locks (in the stable report
+    /// order `AnyAlgorithm::full_suite` uses), and the three
+    /// crash-recoverable locks of [`crate::recover`] — including the
+    /// deliberately planted `broken-recover`.
     #[must_use]
     pub fn standard() -> Self {
         fn plain<A>(
@@ -185,6 +200,35 @@ impl AlgorithmRegistry {
                     summary: summary.into(),
                     min_n: 1,
                     uses_rmw,
+                    recoverable: false,
+                    cost_class: cost_class.into(),
+                    params: vec![],
+                },
+                move |spec, n| {
+                    spec.expect_params(&[], false)?;
+                    Ok(Arc::new(ctor(n)))
+                },
+            )
+        }
+
+        fn recoverable<A>(
+            name: &str,
+            summary: &str,
+            cost_class: &str,
+            uses_rmw: bool,
+            ctor: fn(usize) -> A,
+        ) -> AlgorithmEntry
+        where
+            A: DynAutomaton + Send + Sync + 'static,
+        {
+            AlgorithmEntry::new(
+                AlgorithmInfo {
+                    name: name.into(),
+                    aliases: vec![],
+                    summary: summary.into(),
+                    min_n: 1,
+                    uses_rmw,
+                    recoverable: true,
                     cost_class: cost_class.into(),
                     params: vec![],
                 },
@@ -224,6 +268,7 @@ impl AlgorithmRegistry {
                 summary: "level-based generalization of Peterson".into(),
                 min_n: 1,
                 uses_rmw: false,
+                recoverable: false,
                 cost_class: "Θ(n³)".into(),
                 params: vec![ParamInfo {
                     key: "levels",
@@ -272,6 +317,7 @@ impl AlgorithmRegistry {
                 summary: "test-and-test-and-set spin lock (simulated)".into(),
                 min_n: 1,
                 uses_rmw: true,
+                recoverable: false,
                 cost_class: "rmw".into(),
                 params: vec![ParamInfo {
                     key: "backoff",
@@ -304,6 +350,27 @@ impl AlgorithmRegistry {
             "rmw",
             true,
             McsSim::new,
+        ));
+        reg.register(recoverable(
+            "rpeterson",
+            "recoverable Peterson tournament (healing recovery pass)",
+            "Θ(n log n)",
+            false,
+            RPeterson::new,
+        ));
+        reg.register(recoverable(
+            "rtas",
+            "recoverable CAS lock with owner record",
+            "rmw",
+            true,
+            RTas::new,
+        ));
+        reg.register(recoverable(
+            "broken-recover",
+            "planted bug: recovery frees the lock unconditionally",
+            "rmw",
+            true,
+            BrokenRecover::new,
         ));
         reg
     }
@@ -410,6 +477,7 @@ impl AlgorithmRegistry {
         Ok(ResolvedAlgorithm {
             label: canonical.label(),
             uses_rmw: entry.info.uses_rmw,
+            recoverable: entry.info.recoverable,
             automaton,
         })
     }
@@ -446,10 +514,14 @@ mod tests {
                 "ttas-sim",
                 "ticket-sim",
                 "clh-sim",
-                "mcs-sim"
+                "mcs-sim",
+                "rpeterson",
+                "rtas",
+                "broken-recover"
             ]
         );
-        assert_eq!(reg.entries().filter(|e| e.info().uses_rmw).count(), 5);
+        assert_eq!(reg.entries().filter(|e| e.info().uses_rmw).count(), 7);
+        assert_eq!(reg.entries().filter(|e| e.info().recoverable).count(), 3);
     }
 
     #[test]
@@ -495,7 +567,7 @@ mod tests {
         else {
             panic!("{err}")
         };
-        assert_eq!(known.len(), 11);
+        assert_eq!(known.len(), 14);
         assert_eq!(suggestion.as_deref(), Some("peterson"));
     }
 
@@ -520,6 +592,7 @@ mod tests {
                 summary: "impostor".into(),
                 min_n: 1,
                 uses_rmw: false,
+                recoverable: false,
                 cost_class: "test".into(),
                 params: vec![],
             },
@@ -528,7 +601,7 @@ mod tests {
         assert_eq!(reg.resolve_str("ttas-sim", 3).unwrap().label, "ttas-sim");
         let r = reg.resolve_str("ttas", 3).unwrap();
         assert_eq!(r.automaton.name(), "peterson", "spelling reassigned");
-        assert_eq!(reg.names().len(), 12, "appended, not replaced");
+        assert_eq!(reg.names().len(), 15, "appended, not replaced");
     }
 
     #[test]
@@ -541,6 +614,7 @@ mod tests {
                 summary: "needs an even playing field".into(),
                 min_n: 2,
                 uses_rmw: false,
+                recoverable: false,
                 cost_class: "test".into(),
                 params: vec![],
             },
@@ -565,6 +639,7 @@ mod tests {
                 summary: "shadowed".into(),
                 min_n: 1,
                 uses_rmw: false,
+                recoverable: false,
                 cost_class: "test".into(),
                 params: vec![],
             },

@@ -189,6 +189,30 @@ pub trait Automaton {
         self.observe(pid, state, obs) != *state
     }
 
+    /// The state `pid` restarts from after a crash (Golab–Ramaraju
+    /// recoverable-mutex model).
+    ///
+    /// # Contract
+    ///
+    /// A crash wipes the process's *volatile* state; shared registers
+    /// persist. The returned state is the entry point of the recovery
+    /// section: it must be reachable-from-remainder in the sense that its
+    /// first critical step is `try` (the driver resets the crashed
+    /// process's section to the remainder section, so a recovering
+    /// process re-announces itself with `try` before touching shared
+    /// memory — recovery reads/writes that repair persistent registers
+    /// come after that `try`).
+    ///
+    /// The default returns [`initial_state`](Automaton::initial_state):
+    /// correct for algorithms whose recovery is "start over", which is
+    /// safe only if the algorithm leaves no stale ownership in shared
+    /// registers. Recoverable algorithms override this to enter a
+    /// recovery section that inspects persistent registers and repairs
+    /// them. Like the rest of δ, it must be deterministic.
+    fn recover_state(&self, pid: ProcessId) -> Self::State {
+        self.initial_state(pid)
+    }
+
     /// Home process of a register in the distributed-shared-memory cost
     /// model, or `None` if the register is remote to every process.
     ///
@@ -241,6 +265,9 @@ impl<A: Automaton + ?Sized> Automaton for &A {
     }
     fn observe_changes(&self, pid: ProcessId, state: &Self::State, obs: Observation) -> bool {
         (**self).observe_changes(pid, state, obs)
+    }
+    fn recover_state(&self, pid: ProcessId) -> Self::State {
+        (**self).recover_state(pid)
     }
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
         (**self).register_home(reg)
@@ -297,5 +324,8 @@ mod tests {
         assert_eq!(alg.register_name(RegisterId::new(1)), "r1");
         assert_eq!(alg.initial_value(RegisterId::new(0)), 0);
         assert_eq!(alg.name(), "Plain");
+        // The default recovery state is the initial state.
+        let p = ProcessId::new(0);
+        assert_eq!(alg.recover_state(p), alg.initial_state(p));
     }
 }

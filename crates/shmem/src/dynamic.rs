@@ -353,6 +353,14 @@ pub trait DynAutomaton {
     /// committing the transition.
     fn dyn_observe_changes(&self, pid: ProcessId, state: &DynState, obs: Observation) -> bool;
 
+    /// The (erased) state `pid` restarts from after a crash — the entry
+    /// point of its recovery section. Must mirror the typed
+    /// [`Automaton::recover_state`] contract; the default restarts from
+    /// [`initial_dyn_state`](DynAutomaton::initial_dyn_state).
+    fn recover_dyn_state(&self, pid: ProcessId) -> DynState {
+        self.initial_dyn_state(pid)
+    }
+
     /// Home process of a register in the DSM cost model.
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId>;
 
@@ -401,6 +409,9 @@ where
     }
     fn dyn_observe_changes(&self, pid: ProcessId, state: &DynState, obs: Observation) -> bool {
         self.observe_changes(pid, expect_typed::<A::State>(state), obs)
+    }
+    fn recover_dyn_state(&self, pid: ProcessId) -> DynState {
+        DynState::boxed(self.recover_state(pid))
     }
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
         Automaton::register_home(self, reg)
@@ -472,6 +483,9 @@ where
             .expect("state does not belong to this automaton");
         self.0.observe(pid, &s, obs) != s
     }
+    fn recover_dyn_state(&self, pid: ProcessId) -> DynState {
+        DynState::from_words(&self.0.recover_state(pid))
+    }
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
         self.0.register_home(reg)
     }
@@ -530,6 +544,9 @@ impl Automaton for DynRef<'_> {
     }
     fn observe_changes(&self, pid: ProcessId, state: &DynState, obs: Observation) -> bool {
         self.0.dyn_observe_changes(pid, state, obs)
+    }
+    fn recover_state(&self, pid: ProcessId) -> DynState {
+        self.0.recover_dyn_state(pid)
     }
     fn register_home(&self, reg: RegisterId) -> Option<ProcessId> {
         self.0.register_home(reg)

@@ -103,10 +103,11 @@ impl Execution {
     }
 
     /// Number of steps of each type `(reads, writes, crits)`;
-    /// read-modify-writes count as writes. See [`rmw_count`] for the
-    /// RMW steps alone.
+    /// read-modify-writes count as writes, crash steps are not counted
+    /// (see [`crash_count`] for those).
     ///
     /// [`rmw_count`]: Execution::rmw_count
+    /// [`crash_count`]: Execution::crash_count
     #[must_use]
     pub fn type_counts(&self) -> (usize, usize, usize) {
         let mut r = 0;
@@ -117,6 +118,7 @@ impl Execution {
                 StepType::Read => r += 1,
                 StepType::Write | StepType::Rmw => w += 1,
                 StepType::Crit => c += 1,
+                StepType::Crash => {}
             }
         }
         (r, w, c)
@@ -131,9 +133,22 @@ impl Execution {
             .count()
     }
 
+    /// Number of crash steps.
+    #[must_use]
+    pub fn crash_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.step_type() == StepType::Crash)
+            .count()
+    }
+
     /// Whether every process's critical steps form a prefix of the cycle
     /// `try ∘ enter ∘ exit ∘ rem ∘ try ∘ …` — the paper's Well
     /// Formedness condition — for an `n`-process system.
+    ///
+    /// A [`Step::Crash`] resets its process's section to the remainder
+    /// section (the Golab–Ramaraju crash semantics), so a crashed
+    /// process restarting with `try` stays well formed.
     #[must_use]
     pub fn well_formed(&self, n: usize) -> bool {
         let mut sect = vec![Section::Remainder; n];
@@ -141,7 +156,9 @@ impl Execution {
             if s.pid().index() >= n {
                 return false;
             }
-            if let Some(kind) = s.crit_kind() {
+            if s.step_type() == StepType::Crash {
+                sect[s.pid().index()] = Section::Remainder;
+            } else if let Some(kind) = s.crit_kind() {
                 match sect[s.pid().index()].after(kind) {
                     Some(next) => sect[s.pid().index()] = next,
                     None => return false,
@@ -154,12 +171,22 @@ impl Execution {
     /// Whether the paper's Mutual Exclusion condition holds in every
     /// prefix: no two processes are simultaneously past `enter` but not
     /// yet past `exit`.
+    ///
+    /// A crash removes its process from the critical section (the
+    /// process stops running its CS code), so a crash never *causes* a
+    /// violation here — but stale registers a crash leaves behind can
+    /// let two *other* passages overlap, which this predicate catches.
     #[must_use]
     pub fn mutual_exclusion(&self, n: usize) -> bool {
         let mut sect = vec![Section::Remainder; n];
         for s in &self.steps {
-            if let Some(kind) = s.crit_kind() {
-                let i = s.pid().index();
+            let i = s.pid().index();
+            if s.step_type() == StepType::Crash {
+                if i >= n {
+                    return false;
+                }
+                sect[i] = Section::Remainder;
+            } else if let Some(kind) = s.crit_kind() {
                 if i >= n {
                     return false;
                 }
@@ -354,6 +381,41 @@ mod tests {
         ]);
         assert_eq!(e.type_counts(), (1, 1, 1));
         assert_eq!(e.shared_accesses(), 2);
+    }
+
+    #[test]
+    fn crashes_reset_sections_in_the_predicates() {
+        // p0 crashes inside its CS, restarts with try, and completes a
+        // fresh passage: well formed, and never two in the CS at once.
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(0), CritKind::Enter),
+            Step::crash(p(0)),
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(0), CritKind::Enter),
+            Step::crit(p(0), CritKind::Exit),
+            Step::crit(p(0), CritKind::Rem),
+        ]);
+        assert!(e.well_formed(1));
+        assert!(e.mutual_exclusion(1));
+        assert_eq!(e.crash_count(), 1);
+        // Crash steps are invisible to the (reads, writes, crits) counts
+        // and do not count as shared accesses.
+        assert_eq!(e.type_counts(), (0, 0, 6));
+        assert_eq!(e.shared_accesses(), 0);
+
+        // Without the crash, try-after-enter would be ill-formed.
+        let e = Execution::from_steps(vec![
+            Step::crit(p(0), CritKind::Try),
+            Step::crit(p(0), CritKind::Enter),
+            Step::crit(p(0), CritKind::Try),
+        ]);
+        assert!(!e.well_formed(1));
+
+        // A crash of an out-of-range process is rejected.
+        let e = Execution::from_steps(vec![Step::crash(p(5))]);
+        assert!(!e.well_formed(2));
+        assert!(!e.mutual_exclusion(2));
     }
 
     #[test]

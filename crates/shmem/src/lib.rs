@@ -23,6 +23,10 @@
 //!   (round-robin, seeded random, canonical sequential) and adversarial
 //!   ones (greedy cost-maximizing, burst/phased arrival, staggered
 //!   enable times) producing executions;
+//! * [`fault`] — deterministic crash injection for the recoverable-mutex
+//!   model: [`FaultPlan`]s compose with every scheduler through the
+//!   faulted driver, and crashed witnesses reconstruct to replayable
+//!   script/plan pairs;
 //! * [`checker`] — a small explicit-state model checker that exhaustively
 //!   verifies mutual exclusion for bounded instances of an algorithm;
 //! * [`dynamic`] — the erased-state core: the object-safe
@@ -59,6 +63,7 @@ pub mod checker;
 pub mod dynamic;
 pub mod error;
 pub mod execution;
+pub mod fault;
 pub mod ids;
 pub mod probe;
 pub mod replay;
@@ -72,6 +77,7 @@ pub use automaton::{Automaton, NextStep, Observation, RmwOp};
 pub use dynamic::{DynAutomaton, DynRef, DynState, Packed, WordState};
 pub use error::{ReplayError, RunError};
 pub use execution::Execution;
+pub use fault::{faulted_script, run_faulted, run_faulted_with, FaultPlan};
 pub use ids::{ProcessId, RegisterId, Value};
 pub use probe::{NoProbe, Probe, SharedProbe, SpanScope, TraceEvent};
 pub use replay::{replay, replay_collect, StepOutcome};

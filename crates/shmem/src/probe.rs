@@ -181,6 +181,24 @@ pub enum TraceEvent {
         /// Size of the strongly connected component containing it.
         scc: usize,
     },
+    /// A process crashed: its volatile state was wiped to its recovery
+    /// state, its section reset to the remainder section, and shared
+    /// registers persisted (Golab–Ramaraju model). Emitted by faulted
+    /// drivers at the injection point.
+    Crash {
+        /// 0-based step index within the run at which the crash landed.
+        index: usize,
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// A crashed process took its first post-crash step — it entered
+    /// its recovery path. Emitted by faulted drivers.
+    Recover {
+        /// 0-based step index of the first post-crash step.
+        index: usize,
+        /// The recovering process.
+        pid: ProcessId,
+    },
     /// A phase began. Matched with the [`SpanEnd`](TraceEvent::SpanEnd)
     /// carrying the same scope and tag.
     SpanStart {
@@ -206,7 +224,8 @@ pub enum TraceEvent {
 impl PartialEq for TraceEvent {
     fn eq(&self, other: &Self) -> bool {
         use TraceEvent::{
-            Charged, Executed, Harvest, Layer, Merge, Pump, Reveal, SpanEnd, SpanStart,
+            Charged, Crash, Executed, Harvest, Layer, Merge, Pump, Recover, Reveal, SpanEnd,
+            SpanStart,
         };
         match (self, other) {
             // `wall_ns` is deliberately ignored (see the type docs).
@@ -317,6 +336,10 @@ impl PartialEq for TraceEvent {
                 },
             ) => (a1, a2, a3, a4, a5) == (b1, b2, b3, b4, b5),
             (Pump { depth: a1, scc: a2 }, Pump { depth: b1, scc: b2 }) => (a1, a2) == (b1, b2),
+            (Crash { index: a1, pid: a2 }, Crash { index: b1, pid: b2 }) => (a1, a2) == (b1, b2),
+            (Recover { index: a1, pid: a2 }, Recover { index: b1, pid: b2 }) => {
+                (a1, a2) == (b1, b2)
+            }
             (SpanStart { scope: a1, tag: a2 }, SpanStart { scope: b1, tag: b2 }) => {
                 (a1, a2) == (b1, b2)
             }
@@ -481,6 +504,17 @@ mod tests {
             tag: 1,
         };
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn crash_and_recover_compare_by_fields() {
+        let p = ProcessId::new(1);
+        let a = TraceEvent::Crash { index: 3, pid: p };
+        assert_eq!(a, TraceEvent::Crash { index: 3, pid: p });
+        assert_ne!(a, TraceEvent::Crash { index: 4, pid: p });
+        assert_ne!(a, TraceEvent::Recover { index: 3, pid: p });
+        let r = TraceEvent::Recover { index: 5, pid: p };
+        assert_eq!(r, TraceEvent::Recover { index: 5, pid: p });
     }
 
     #[test]

@@ -162,6 +162,36 @@ impl Spec {
         }
     }
 
+    /// [`usize_param`](Spec::usize_param) with a lower bound: a present
+    /// value below `min` is rejected as out of range. Registries use
+    /// this for parameters where zero is not a configuration but a
+    /// contradiction (`patience=0` would disable the starvation valve
+    /// the parameter exists to tune). An absent key still yields
+    /// `default` unchecked — bounds constrain the user's spelling, not
+    /// the registry's own fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParam`] when the value does not
+    /// parse or is below `min`.
+    pub fn usize_param_at_least(
+        &self,
+        key: &str,
+        default: usize,
+        min: usize,
+    ) -> Result<usize, SpecError> {
+        let parsed = self.usize_param(key, default)?;
+        match self.get(key) {
+            Some(v) if parsed < min => Err(SpecError::InvalidParam {
+                spec: self.label(),
+                key: key.to_string(),
+                value: v.to_string(),
+                expected: format!("an integer >= {min}"),
+            }),
+            _ => Ok(parsed),
+        }
+    }
+
     /// Rejects parameters outside `known`, with an error naming the
     /// valid keys — registries call this so typos fail loudly instead of
     /// being ignored.
@@ -355,6 +385,26 @@ fn edit_distance(a: &str, b: &str) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bounded_params_reject_values_below_the_floor() {
+        let spec = Spec::parse("fanlynch:patience=0").unwrap();
+        let err = spec.usize_param_at_least("patience", 1, 1).unwrap_err();
+        let SpecError::InvalidParam {
+            value, expected, ..
+        } = &err
+        else {
+            panic!("{err}")
+        };
+        assert_eq!(value, "0");
+        assert_eq!(expected, "an integer >= 1");
+        // The boundary passes; an absent key yields the default
+        // unchecked (bounds constrain spellings, not fallbacks).
+        let spec = Spec::parse("fanlynch:patience=1").unwrap();
+        assert_eq!(spec.usize_param_at_least("patience", 1, 1).unwrap(), 1);
+        let spec = Spec::parse("fanlynch").unwrap();
+        assert_eq!(spec.usize_param_at_least("patience", 0, 1).unwrap(), 0);
+    }
 
     #[test]
     fn parse_and_label_roundtrip() {

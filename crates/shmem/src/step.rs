@@ -65,6 +65,8 @@ pub enum StepType {
     Rmw,
     /// A critical step.
     Crit,
+    /// A crash of one process (recoverable-mutex extension).
+    Crash,
 }
 
 impl fmt::Display for StepType {
@@ -74,6 +76,7 @@ impl fmt::Display for StepType {
             StepType::Write => "W",
             StepType::Rmw => "RMW",
             StepType::Crit => "C",
+            StepType::Crash => "X",
         };
         f.write_str(s)
     }
@@ -133,6 +136,17 @@ pub enum Step {
         /// Which of the four critical steps this is.
         kind: CritKind,
     },
+    /// A crash of `pid` (recoverable-mutex extension, Golab–Ramaraju
+    /// model): the process's volatile state is wiped to its recovery
+    /// state and its section resets to the remainder section; shared
+    /// registers persist. Injected by a [`FaultPlan`], never produced
+    /// by an automaton's transition function.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    Crash {
+        /// The crashing process.
+        pid: ProcessId,
+    },
 }
 
 impl Step {
@@ -160,6 +174,12 @@ impl Step {
         Step::Rmw { pid, reg, op }
     }
 
+    /// Convenience constructor for a crash step.
+    #[must_use]
+    pub fn crash(pid: ProcessId) -> Self {
+        Step::Crash { pid }
+    }
+
     /// The process performing this step (`own(e)`).
     #[must_use]
     pub fn pid(&self) -> ProcessId {
@@ -167,7 +187,8 @@ impl Step {
             Step::Read { pid, .. }
             | Step::Write { pid, .. }
             | Step::Rmw { pid, .. }
-            | Step::Crit { pid, .. } => pid,
+            | Step::Crit { pid, .. }
+            | Step::Crash { pid } => pid,
         }
     }
 
@@ -179,6 +200,7 @@ impl Step {
             Step::Write { .. } => StepType::Write,
             Step::Rmw { .. } => StepType::Rmw,
             Step::Crit { .. } => StepType::Crit,
+            Step::Crash { .. } => StepType::Crash,
         }
     }
 
@@ -187,7 +209,7 @@ impl Step {
     pub fn register(&self) -> Option<RegisterId> {
         match *self {
             Step::Read { reg, .. } | Step::Write { reg, .. } | Step::Rmw { reg, .. } => Some(reg),
-            Step::Crit { .. } => None,
+            Step::Crit { .. } | Step::Crash { .. } => None,
         }
     }
 
@@ -212,7 +234,7 @@ impl Step {
     /// Whether this step accesses shared memory (is a read or a write).
     #[must_use]
     pub fn is_shared_access(&self) -> bool {
-        !matches!(self, Step::Crit { .. })
+        !matches!(self, Step::Crit { .. } | Step::Crash { .. })
     }
 }
 
@@ -225,6 +247,7 @@ impl fmt::Display for Step {
             }
             Step::Rmw { pid, reg, op } => write!(f, "rmw_{}({}, {:?})", pid.index(), reg, op),
             Step::Crit { pid, kind } => write!(f, "{}_{}", kind, pid.index()),
+            Step::Crash { pid } => write!(f, "crash_{}", pid.index()),
         }
     }
 }
@@ -268,6 +291,14 @@ mod tests {
         assert_eq!(s.register(), None);
         assert_eq!(s.crit_kind(), Some(CritKind::Rem));
         assert!(!s.is_shared_access());
+
+        let s = Step::crash(p(3));
+        assert_eq!(s.pid(), p(3));
+        assert_eq!(s.step_type(), StepType::Crash);
+        assert_eq!(s.register(), None);
+        assert_eq!(s.value(), None);
+        assert_eq!(s.crit_kind(), None);
+        assert!(!s.is_shared_access());
     }
 
     #[test]
@@ -275,6 +306,7 @@ mod tests {
         assert_eq!(Step::read(p(1), r(2)).to_string(), "read_1(r2)");
         assert_eq!(Step::write(p(0), r(3), 5).to_string(), "write_0(r3, 5)");
         assert_eq!(Step::crit(p(7), CritKind::Try).to_string(), "try_7");
+        assert_eq!(Step::crash(p(4)).to_string(), "crash_4");
     }
 
     #[test]

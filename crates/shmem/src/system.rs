@@ -328,8 +328,37 @@ impl<'a, A: Automaton> System<'a, A> {
         self.apply(pid, next)
     }
 
+    /// Crashes process `pid` (Golab–Ramaraju model): its volatile state
+    /// is reset to [`Automaton::recover_state`], its section returns to
+    /// the remainder section, and its passage count is untouched. Shared
+    /// registers persist — any stale ownership the process left behind
+    /// stays visible to everyone.
+    ///
+    /// Crashes are *injected* (by a [`FaultPlan`](crate::fault::FaultPlan)
+    /// or an adversary), never produced by the automaton's transition
+    /// function. The returned [`Executed`] records a [`Step::Crash`];
+    /// `state_changed` reports whether the wipe actually changed the
+    /// process's state (a crash in the remainder section with default
+    /// recovery is a no-op), and crash steps are never charged by any
+    /// cost model.
+    pub fn crash(&mut self, pid: ProcessId) -> Executed {
+        let i = pid.index();
+        let recovered = self.alg.recover_state(pid);
+        let state_changed = recovered != self.states[i] || self.sections[i] != Section::Remainder;
+        self.states[i] = recovered;
+        self.sections[i] = Section::Remainder;
+        Executed {
+            step: Step::crash(pid),
+            state_changed,
+            read_value: None,
+        }
+    }
+
     /// Executes `step` for its named process if (and only if) it is
     /// exactly what the automaton would perform; used by replay.
+    ///
+    /// A recorded [`Step::Crash`] is always accepted (crashes are
+    /// injected, not produced by δ) and performs [`System::crash`].
     ///
     /// # Errors
     ///
@@ -345,6 +374,9 @@ impl<'a, A: Automaton> System<'a, A> {
                 pid,
                 processes: self.processes(),
             });
+        }
+        if let Step::Crash { .. } = step {
+            return Ok(self.crash(pid));
         }
         let next = self.peek(pid);
         let matches = match (next, step) {
@@ -566,6 +598,56 @@ mod tests {
         let big = Alternator::new(3);
         let snap = System::new(&big).snapshot();
         let _ = System::from_snapshot(&small, &snap);
+    }
+
+    #[test]
+    fn crash_wipes_state_and_section_but_not_registers_or_passages() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        // Drive p0 through a full passage, leaving turn = 1.
+        while sys.passages(p0) == 0 {
+            sys.step(p0);
+        }
+        // p0 starts a second passage and parks inside its CS.
+        sys.step(ProcessId::new(1)); // p1: try
+        let crashed_reg = sys.register(RegisterId::new(0));
+        sys.step(p0); // try — but turn is 1, p0 spins
+        let done = sys.crash(p0);
+        assert_eq!(done.step, Step::crash(p0));
+        assert!(done.state_changed);
+        assert_eq!(done.read_value, None);
+        // Volatile state and section are wiped…
+        assert_eq!(sys.section(p0), Section::Remainder);
+        assert_eq!(*sys.state(p0), alg.recover_state(p0));
+        // …registers and passage counts persist.
+        assert_eq!(sys.register(RegisterId::new(0)), crashed_reg);
+        assert_eq!(sys.passages(p0), 1);
+    }
+
+    #[test]
+    fn crash_in_remainder_with_default_recovery_is_a_noop() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let done = sys.crash(ProcessId::new(1));
+        assert!(!done.state_changed);
+        assert_eq!(sys.snapshot(), System::new(&alg).snapshot());
+    }
+
+    #[test]
+    fn execute_expected_accepts_recorded_crashes() {
+        let alg = Alternator::new(2);
+        let mut sys = System::new(&alg);
+        let p0 = ProcessId::new(0);
+        sys.step(p0); // try
+        let done = sys
+            .execute_expected(Step::crash(p0))
+            .expect("crash replays");
+        assert_eq!(done.step, Step::crash(p0));
+        assert_eq!(sys.section(p0), Section::Remainder);
+        // An out-of-range crash is still rejected.
+        let err = sys.execute_expected(Step::crash(ProcessId::new(9)));
+        assert!(matches!(err, Err(ReplayError::InvalidProcess { .. })));
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn step_name(ty: StepType) -> &'static str {
         StepType::Write => "write",
         StepType::Rmw => "rmw",
         StepType::Crit => "crit",
+        StepType::Crash => "crash",
     }
 }
 
@@ -151,6 +152,22 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     "{{\"name\":\"scc-pump\",\"cat\":\"explorer\",\"ph\":\"i\",\"s\":\"t\",\
                      \"ts\":{ts},\"pid\":0,\"tid\":{ENGINE_LANE},\"args\":{{\
                      \"depth\":{depth},\"scc\":{scc}}}}}"
+                );
+            }
+            TraceEvent::Crash { index, pid } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"crash\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\"step\":{index}}}}}",
+                    lane(pid),
+                );
+            }
+            TraceEvent::Recover { index, pid } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"recover\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{},\"args\":{{\"step\":{index}}}}}",
+                    lane(pid),
                 );
             }
             TraceEvent::SpanStart { scope, tag } => {

@@ -106,6 +106,10 @@ pub struct Metrics {
     pub rmws: u64,
     /// Executed critical steps (`try`/`enter`/`exit`/`rem`).
     pub crits: u64,
+    /// Injected crash steps.
+    pub crashes: u64,
+    /// Recovery starts (first post-crash scheduling of a crashed process).
+    pub recovers: u64,
     /// Steps whose acting process changed state (the SC condition).
     pub state_changes: u64,
     /// Steps charged under at least one model.
@@ -160,6 +164,8 @@ impl PartialEq for Metrics {
             writes,
             rmws,
             crits,
+            crashes,
+            recovers,
             state_changes,
             charges,
             sc,
@@ -186,6 +192,8 @@ impl PartialEq for Metrics {
             && *writes == other.writes
             && *rmws == other.rmws
             && *crits == other.crits
+            && *crashes == other.crashes
+            && *recovers == other.recovers
             && *state_changes == other.state_changes
             && *charges == other.charges
             && *sc == other.sc
@@ -232,6 +240,8 @@ impl Metrics {
         self.writes += other.writes;
         self.rmws += other.rmws;
         self.crits += other.crits;
+        self.crashes += other.crashes;
+        self.recovers += other.recovers;
         self.state_changes += other.state_changes;
         self.charges += other.charges;
         self.sc += other.sc;
@@ -277,9 +287,15 @@ impl Probe for Metrics {
                     StepType::Write => self.writes += 1,
                     StepType::Rmw => self.rmws += 1,
                     StepType::Crit => self.crits += 1,
+                    // Counted via the dedicated `Crash` fault event, which
+                    // every faulted driver emits exactly once per injection;
+                    // priced streams carry both and must not double-count.
+                    StepType::Crash => {}
                 }
                 self.state_changes += u64::from(state_changed);
             }
+            TraceEvent::Crash { .. } => self.crashes += 1,
+            TraceEvent::Recover { .. } => self.recovers += 1,
             TraceEvent::Charged { sc, cc, dsm, .. } => {
                 self.charges += 1;
                 self.sc += u64::from(sc);
@@ -330,6 +346,7 @@ pub fn metrics_json(m: &Metrics) -> String {
         out,
         "{{\"schema\":\"{METRICS_SCHEMA}\",\"events\":{},\"steps\":{},\
          \"reads\":{},\"writes\":{},\"rmws\":{},\"crits\":{},\
+         \"crashes\":{},\"recovers\":{},\
          \"state_changes\":{},\"charges\":{},\"sc\":{},\"cc\":{},\"dsm\":{},\
          \"merges\":{},\"harvests\":{},\"reveals\":{},\
          \"layers\":{},\"fresh_states\":{},\"dedup_hits\":{},\
@@ -340,6 +357,8 @@ pub fn metrics_json(m: &Metrics) -> String {
         m.writes,
         m.rmws,
         m.crits,
+        m.crashes,
+        m.recovers,
         m.state_changes,
         m.charges,
         m.sc,

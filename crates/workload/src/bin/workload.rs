@@ -1,7 +1,9 @@
 //! The `workload` CLI: build a scenario grid, run a sharded sweep,
 //! print a summary table, and optionally write JSON/CSV reports — plus
-//! the `explore` subcommand for exhaustive small-`n` certification and
-//! the `bound` subcommand for adaptive forced-cost curves.
+//! the `explore` subcommand for exhaustive small-`n` certification, the
+//! `bound` subcommand for adaptive forced-cost curves, and the `crash`
+//! subcommand for crash-recoverable certification and forced-RMR
+//! curves under a crash-budget adversary.
 //!
 //! ```text
 //! workload                                  # default grid, all cores
@@ -13,6 +15,7 @@
 //! workload explore --n 3 --model sc --json explore.json
 //! workload explore --algs broken --n 2      # catch the planted race
 //! workload bound --algs all --n 4..64       # force the Ω(n log n) bound
+//! workload crash --sched fanlynch:crashes=2 # certify + crash the locks
 //! ```
 //!
 //! Algorithms and schedulers are registry specs; unknown names fail
@@ -33,6 +36,8 @@ USAGE:
     workload [OPTIONS]            sampled cost sweep (the default mode)
     workload explore [OPTIONS]    exhaustive exploration (see explore --help)
     workload bound [OPTIONS]      adaptive forced-cost curves (see bound --help)
+    workload crash [OPTIONS]      crash-recoverable certification and
+                                  forced-RMR curves (see crash --help)
     workload trace [OPTIONS]      trace one run to Chrome/Perfetto JSON
                                   (see trace --help)
 
@@ -785,6 +790,395 @@ fn bound_json(args: &BoundArgs, curves: &[exclusion_bound::BoundCurve]) -> Strin
     out
 }
 
+const CRASH_USAGE: &str = "\
+workload crash — the crash-budget adversary: exhaustively certify every
+recoverable lock against bounded crash injection, then play the crash
+game and report the forced cost in remote memory references (RMR-CC /
+RMR-DSM) per crash budget
+
+USAGE:
+    workload crash [OPTIONS]
+
+OPTIONS:
+    --algs A,B,...|all   algorithm specs (default: every registry entry
+                         claiming `recoverable`, the planted
+                         broken-recover included)
+    --n LO..HI|N,M,...   the n grid for the crash game (default: 2,3)
+    --crashes K          the crash budget: games sweep every k in 0..=K
+                         and certification uses K itself (default: from
+                         --sched, else 1)
+    --sched SPEC         a scheduler spec whose `crashes=` parameter
+                         supplies the budget when --crashes is absent
+                         (e.g. fanlynch:crashes=2). The game itself
+                         always plays the full adaptive + greedy
+                         portfolio; the spec is the budget's spelling,
+                         not a strategy override (default: fanlynch)
+    --no-certify         skip the exhaustive certification pass
+    --passages P         passages per process (default: 1)
+    --seed S             adaptive tie-break seed (default: 0)
+    --patience K         starvation-valve threshold for both portfolio
+                         strategies (default: 4n+4)
+    --max-steps N        step budget per strategy run (default: 50000000)
+    --json PATH          write the JSON report (`-` for stdout)
+    --quiet              suppress the text tables
+    --help               this text
+
+Certification explores the product of system states and crashes-used
+exhaustively, so it runs only at the grid points with n <= 3; honest
+locks must certify and the planted broken-recover must be refuted with
+a replayable crash witness. Exit status is nonzero when either
+expectation fails, when any crash game fails to complete, or when a
+forced RMR cost falls below the greedy baseline.
+";
+
+struct CrashArgs {
+    algs: Vec<String>,
+    ns: Vec<usize>,
+    budget: usize,
+    certify: bool,
+    json: Option<String>,
+    quiet: bool,
+    cfg: exclusion_bound::BoundConfig,
+}
+
+fn parse_crash_args(argv: &[String]) -> Result<Option<CrashArgs>, String> {
+    let mut args = CrashArgs {
+        algs: Vec::new(),
+        ns: vec![2, 3],
+        budget: 0,
+        certify: true,
+        json: None,
+        quiet: false,
+        cfg: exclusion_bound::BoundConfig::default(),
+    };
+    let mut sched = String::from("fanlynch");
+    let mut crashes: Option<usize> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algs" => args.algs.extend(split_specs(&value()?)),
+            "--n" => args.ns = parse_grid(&value()?)?,
+            "--crashes" => {
+                crashes = Some(value()?.parse().map_err(|e| format!("--crashes: {e}"))?);
+            }
+            "--sched" => sched = value()?,
+            "--no-certify" => args.certify = false,
+            "--passages" => {
+                args.cfg.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
+            }
+            "--seed" => args.cfg.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--patience" => {
+                args.cfg.patience = Some(value()?.parse().map_err(|e| format!("--patience: {e}"))?);
+            }
+            "--max-steps" => {
+                args.cfg.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--json" => args.json = Some(value()?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{CRASH_USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try crash --help)")),
+        }
+    }
+    if args.cfg.passages == 0 {
+        return Err("--passages must be positive".into());
+    }
+    // The budget comes from --crashes, else from the scheduler spec's
+    // `crashes=` parameter (`fanlynch:crashes=2`), else defaults to 1.
+    // Resolving through the registry also validates the spelling, so
+    // `fanlynch:crashes=-1` fails here with the registry's own error.
+    let resolved = SchedulerRegistry::global()
+        .resolve_str(&sched, 2)
+        .map_err(|e| format!("--sched: {e}"))?;
+    args.budget = match crashes {
+        Some(k) => k,
+        None if resolved.crashes > 0 => resolved.crashes,
+        None => 1,
+    };
+    if args.algs.is_empty() || args.algs.iter().any(|a| a == "all") {
+        args.algs = AlgorithmRegistry::global()
+            .entries()
+            .filter(|e| e.info().recoverable)
+            .map(|e| e.info().name.clone())
+            .collect();
+    }
+    Ok(Some(args))
+}
+
+fn run_crash(argv: &[String]) -> Result<(), String> {
+    use exclusion_bound::{force_crash_curve, CrashCurve, RMR_CC, RMR_MODELS};
+    use exclusion_explore::certify_recoverable;
+
+    let Some(args) = parse_crash_args(argv)? else {
+        return Ok(());
+    };
+    let registry = AlgorithmRegistry::global();
+    let ks: Vec<usize> = (0..=args.budget).collect();
+    let mut failures: Vec<String> = Vec::new();
+    let start = std::time::Instant::now();
+
+    // Pass 1: exhaustive certification at the small grid points. The
+    // planted broken-recover must be refuted, honest locks must certify.
+    let mut certs: Vec<(String, usize, exclusion_explore::CrashReport)> = Vec::new();
+    if args.certify {
+        let xcfg = ExploreConfig {
+            passages: args.cfg.passages,
+            ..ExploreConfig::default()
+        };
+        for spec in &args.algs {
+            for &n in args.ns.iter().filter(|&&n| n <= 3) {
+                let resolved = registry.resolve_str(spec, n).map_err(|e| e.to_string())?;
+                let report = certify_recoverable(resolved.automaton.as_ref(), args.budget, &xcfg);
+                let planted = resolved.label == "broken-recover";
+                if planted && args.budget > 0 && report.violation.is_none() {
+                    failures.push(format!(
+                        "{} n={n}: planted unsafe recovery NOT caught under {} crashes",
+                        resolved.label, args.budget
+                    ));
+                } else if !planted && !report.certified_recoverable() {
+                    failures.push(format!(
+                        "{} n={n}: not certified under {} crashes",
+                        resolved.label, args.budget
+                    ));
+                }
+                certs.push((resolved.label, n, report));
+            }
+        }
+    }
+
+    // Pass 2: the crash game, swept over budgets 0..=K.
+    let mut curves: Vec<CrashCurve> = Vec::new();
+    for spec in &args.algs {
+        let curve = force_crash_curve(registry, spec, &args.ns, &ks, &args.cfg)
+            .map_err(|e| e.to_string())?;
+        for row in &curve.rows {
+            for cell in &row.cells {
+                if !cell.completed() {
+                    failures.push(format!(
+                        "{} n={} k={}: no strategy completed ({})",
+                        curve.algorithm,
+                        cell.n,
+                        row.budget,
+                        cell.errors.join("; ")
+                    ));
+                    continue;
+                }
+                for (m, model) in RMR_MODELS.iter().enumerate() {
+                    if cell.forced[m] < cell.greedy[m] {
+                        failures.push(format!(
+                            "{} n={} k={} {model}: forced {} below greedy {}",
+                            curve.algorithm, cell.n, row.budget, cell.forced[m], cell.greedy[m]
+                        ));
+                    }
+                }
+            }
+        }
+        curves.push(curve);
+    }
+
+    if !args.quiet {
+        if !certs.is_empty() {
+            let mut rows: Vec<Vec<String>> = vec![[
+                "algorithm",
+                "n",
+                "budget",
+                "states",
+                "depth",
+                "recoverable",
+                "witness",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect()];
+            for (label, n, report) in &certs {
+                rows.push(vec![
+                    label.clone(),
+                    n.to_string(),
+                    report.budget.to_string(),
+                    report.states.to_string(),
+                    report.depth.to_string(),
+                    if report.violation.is_some() {
+                        "NO"
+                    } else if report.certified_recoverable() {
+                        "yes"
+                    } else {
+                        "?" // truncated: nothing was proved
+                    }
+                    .to_string(),
+                    report.violation.as_ref().map_or_else(String::new, |v| {
+                        format!("{} steps, {} crashes", v.picks.len(), v.crashes())
+                    }),
+                ]);
+            }
+            let cols = rows[0].len();
+            print!(
+                "{}",
+                exclusion_workload::report::text_table(&rows, &[0, cols - 1])
+            );
+        }
+        let mut rows: Vec<Vec<String>> = vec![[
+            "algorithm",
+            "n",
+            "k",
+            "steps",
+            "inj",
+            "rmr-cc",
+            "cc-adapt",
+            "cc-greedy",
+            "rmr-dsm",
+            "winner",
+            "note",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect()];
+        for curve in &curves {
+            for row in &curve.rows {
+                for cell in &row.cells {
+                    rows.push(vec![
+                        curve.algorithm.clone(),
+                        cell.n.to_string(),
+                        row.budget.to_string(),
+                        cell.steps.to_string(),
+                        cell.injected.to_string(),
+                        cell.forced[RMR_CC].to_string(),
+                        cell.adaptive[RMR_CC].to_string(),
+                        cell.greedy[RMR_CC].to_string(),
+                        cell.forced[1].to_string(),
+                        cell.winner[RMR_CC].to_string(),
+                        cell.errors.join("; "),
+                    ]);
+                }
+            }
+        }
+        let cols = rows[0].len();
+        print!(
+            "{}",
+            exclusion_workload::report::text_table(&rows, &[0, cols - 2, cols - 1])
+        );
+        eprintln!(
+            "crash-certified {} cells / forced {} games in {:.1} ms",
+            certs.len(),
+            curves
+                .iter()
+                .map(|c| c.rows.iter().map(|r| r.cells.len()).sum::<usize>())
+                .sum::<usize>(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    if let Some(path) = &args.json {
+        emit(path, "JSON report", &crash_json(&args, &certs, &curves))?;
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Hand-rolled JSON for the crash report, matching the house style.
+/// Witness traces are summarized by length and crash count; replay them
+/// via the library API (`CrashForcedRun::replay_artifacts`,
+/// `CrashCounterexample::replay_artifacts`) instead.
+fn crash_json(
+    args: &CrashArgs,
+    certs: &[(String, usize, exclusion_explore::CrashReport)],
+    curves: &[exclusion_bound::CrashCurve],
+) -> String {
+    use exclusion_bound::{rmr_models_json, RMR_CC, RMR_MODELS};
+    use exclusion_explore::report::json_escape;
+
+    let mut out = format!(
+        "{{\"schema\":\"exclusion-crash/v1\",\"passages\":{},\"seed\":{},\"budget\":{},\"grid\":{:?},\"certify\":[",
+        args.cfg.passages, args.cfg.seed, args.budget, args.ns
+    );
+    for (i, (label, n, report)) in certs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let witness = report.violation.as_ref().map_or_else(
+            || "null".into(),
+            |v| {
+                format!(
+                    "{{\"steps\":{},\"crashes\":{}}}",
+                    v.picks.len(),
+                    v.crashes()
+                )
+            },
+        );
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"n\":{n},\"budget\":{},\"states\":{},\"edges\":{},\"depth\":{},\"certified\":{},\"violation\":{witness}}}",
+            json_escape(label),
+            report.budget,
+            report.states,
+            report.edges,
+            report.depth,
+            report.certified_recoverable(),
+        );
+    }
+    out.push_str("],\"curves\":[");
+    for (i, curve) in curves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"rows\":[",
+            json_escape(&curve.algorithm)
+        );
+        for (j, row) in curve.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"crashes\":{},\"fits\":{{", row.budget);
+            for (m, model) in RMR_MODELS.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\"{model}\":{{\"c\":{:.6},\"r2\":{:.6}}}",
+                    if m > 0 { "," } else { "" },
+                    row.fits[m].c,
+                    row.fits[m].r2
+                );
+            }
+            out.push_str("},\"cells\":[");
+            for (c, cell) in row.cells.iter().enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                let errors = cell
+                    .errors
+                    .iter()
+                    .map(|e| format!("\"{}\"", json_escape(e)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = write!(
+                    out,
+                    "{{\"n\":{},\"steps\":{},\"injected\":{},\"forced\":{{{}}},\"adaptive\":{{{}}},\"greedy\":{{{}}},\"winner\":\"{}\",\"errors\":[{errors}]}}",
+                    cell.n,
+                    cell.steps,
+                    cell.injected,
+                    rmr_models_json(&cell.forced),
+                    rmr_models_json(&cell.adaptive),
+                    rmr_models_json(&cell.greedy),
+                    cell.winner[RMR_CC],
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
 const TRACE_USAGE: &str = "\
 workload trace — run one scenario with the structured probe attached
 and export a Chrome trace-event JSON (load it at https://ui.perfetto.dev)
@@ -992,6 +1386,9 @@ fn run() -> Result<(), String> {
     }
     if argv.first().map(String::as_str) == Some("bound") {
         return run_bound(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("crash") {
+        return run_crash(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return run_trace(&argv[1..]);

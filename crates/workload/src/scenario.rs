@@ -443,6 +443,7 @@ mod tests {
                 summary: "min_n floor fixture".into(),
                 min_n: 2,
                 uses_rmw: false,
+                recoverable: false,
                 cost_class: "test".into(),
                 params: vec![],
             },

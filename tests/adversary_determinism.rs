@@ -5,11 +5,12 @@
 //! partition, last-writer table, valve clocks), so there is no
 //! hash-iteration order to leak into picks; these properties pin that.
 
-use exclusion::bound::{force, AdaptiveAdversary, BoundConfig};
+use exclusion::bound::{force, force_crash, AdaptiveAdversary, BoundConfig};
 use exclusion::cost::run_priced;
+use exclusion::explore::{certify_recoverable, conformance_registry, ExploreConfig};
 use exclusion::mutex::registry::AlgorithmRegistry;
 use exclusion::shmem::sched::Traced;
-use exclusion::shmem::DynRef;
+use exclusion::shmem::{faulted_script, run_faulted, DynRef, FaultPlan};
 use exclusion::workload::{sweep, Scenario, SchedSpec, SweepOptions};
 use proptest::prelude::*;
 
@@ -95,6 +96,78 @@ proptest! {
             prop_assert!(record.error.is_none(), "{:?}", record.error);
             prop_assert!(record.sc > 0);
         }
+    }
+}
+
+/// The recoverable locks cheap enough for a crash property grid.
+const RECOVERABLE: [&str; 2] = ["rpeterson", "rtas"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The crash-budget game is a pure function of (algorithm, n, seed,
+    /// budget): schedules, injected crashes, witnesses and both RMR
+    /// columns — and with budget 0 the game *is* the crash-free one.
+    #[test]
+    fn crash_games_are_pure_functions_of_their_inputs(
+        alg_idx in 0..RECOVERABLE.len(),
+        n in 2usize..6,
+        seed in any::<u64>(),
+        crashes in 0usize..3,
+    ) {
+        let registry = AlgorithmRegistry::global();
+        let alg = registry.resolve_str(RECOVERABLE[alg_idx], n).unwrap().automaton;
+        let cfg = BoundConfig { seed, crashes, ..BoundConfig::default() };
+        let a = force_crash(alg.as_ref(), &cfg);
+        let b = force_crash(alg.as_ref(), &cfg);
+        prop_assert_eq!(&a, &b);
+        if crashes == 0 {
+            let plain = force(alg.as_ref(), &BoundConfig { seed, ..BoundConfig::default() });
+            prop_assert_eq!(a.forced, [plain.forced[1], plain.forced[2]]);
+            prop_assert_eq!(a.injected, 0);
+        }
+    }
+
+    /// A faulted run against the seeded adversary is reproducible two
+    /// ways: rerunning the same (seed, plan) pair, and replaying the
+    /// recorded `Script` + `FaultPlan` artifacts — both bit-identical.
+    #[test]
+    fn faulted_runs_replay_bit_identically(
+        alg_idx in 0..RECOVERABLE.len(),
+        n in 2usize..6,
+        seed in any::<u64>(),
+        crashes in 0usize..3,
+    ) {
+        let registry = AlgorithmRegistry::global();
+        let alg = registry.resolve_str(RECOVERABLE[alg_idx], n).unwrap().automaton;
+        let dyn_ref = DynRef(alg.as_ref());
+        let run = |(mut sched, mut plan): (AdaptiveAdversary, FaultPlan)| {
+            run_faulted(&dyn_ref, &mut sched, &mut plan, 1, 1_000_000).unwrap()
+        };
+        let fresh = || (AdaptiveAdversary::new(seed), FaultPlan::in_critical(crashes));
+        let exec = run(fresh());
+        prop_assert_eq!(&exec, &run(fresh()));
+        let (mut script, mut replan) = faulted_script(exec.steps());
+        let replay = run_faulted(&dyn_ref, &mut script, &mut replan, 1, 1_000_000).unwrap();
+        prop_assert_eq!(&exec, &replay);
+    }
+}
+
+/// Crash certification explores a product graph in parallel, but its
+/// verdict — state count, depth, and the minimal counterexample when
+/// there is one — must not depend on the worker count.
+#[test]
+fn crash_certification_is_worker_count_independent() {
+    let reg = conformance_registry();
+    for name in ["rpeterson", "rtas", "broken-recover"] {
+        let alg = reg.resolve_str(name, 2).unwrap().automaton;
+        let cfg = |workers| ExploreConfig {
+            workers,
+            ..ExploreConfig::default()
+        };
+        let one = certify_recoverable(alg.as_ref(), 2, &cfg(1));
+        let four = certify_recoverable(alg.as_ref(), 2, &cfg(4));
+        assert_eq!(one, four, "{name}");
     }
 }
 

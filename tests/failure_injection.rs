@@ -1,128 +1,152 @@
-//! Integration: the machinery must *reject* broken inputs — bad locks,
-//! bad permutations, corrupted encodings — not silently accept them.
+//! Integration: the machinery must *reject* broken inputs — broken
+//! locks, lying recovery claims, malformed traces, exhausted budgets —
+//! not silently accept them, and every rejection must come with a
+//! replayable witness or a precise diagnosis.
+//!
+//! Historically this suite drove the legacy `lb::construct` and
+//! `shmem::checker` paths; it now exercises the same guarantees through
+//! the registry + explorer stack (which is what the CLI and the
+//! benchmarks run), plus the fault-injection layer this repo's crash
+//! model lives in.
 
-use exclusion::lb::{construct, decode, encode, ConstructConfig, ConstructError, Permutation};
+use exclusion::explore::{certify_recoverable, conformance_registry, explore, ExploreConfig};
 use exclusion::mutex::broken::{BrokenPeterson, RacyBool};
 use exclusion::mutex::stale_tournament::StaleTournament;
-use exclusion::mutex::{Bakery, DekkerTournament};
-use exclusion::shmem::checker::{check_mutual_exclusion, CheckConfig};
-use exclusion::shmem::testing::{Alternator, NoLock};
-use exclusion::shmem::Automaton;
+use exclusion::shmem::dynamic::DynRef;
+use exclusion::shmem::spec::SpecError;
+use exclusion::shmem::testing::NoLock;
+use exclusion::shmem::{run_faulted, FaultPlan, System};
 
-#[test]
-fn model_checker_rejects_every_broken_lock() {
-    let no_lock = check_mutual_exclusion(&NoLock::new(2), CheckConfig::default());
-    assert!(no_lock.violation.is_some());
-
-    let racy = check_mutual_exclusion(&RacyBool::new(2), CheckConfig::default());
-    assert!(racy.violation.is_some());
-
-    let peterson = check_mutual_exclusion(
-        &BrokenPeterson,
-        CheckConfig {
-            passages: 2,
-            max_states: 5_000_000,
-        },
-    );
-    assert!(peterson.violation.is_some());
-
-    let stale = check_mutual_exclusion(
-        &StaleTournament::new(2),
-        CheckConfig {
-            passages: 3,
-            max_states: 10_000_000,
-        },
-    );
-    assert!(stale.violation.is_some());
+fn cfg(passages: usize) -> ExploreConfig {
+    ExploreConfig {
+        passages,
+        ..ExploreConfig::default()
+    }
 }
 
 #[test]
-fn witnesses_are_genuine_executions() {
+fn explorer_rejects_every_broken_lock() {
+    // Registry path: the planted `broken` entry (a racy boolean lock)
+    // is caught by the same conformance registry the CLI certifies.
+    let reg = conformance_registry();
+    let racy = reg.resolve_str("broken", 2).unwrap().automaton;
+    assert!(explore(racy.as_ref(), &cfg(1)).violation.is_some());
+
+    // Direct path: broken locks that are not registry entries are
+    // refuted through the same erased interface the registry uses.
+    let no_lock = NoLock::new(2);
+    assert!(explore(&no_lock, &cfg(1)).violation.is_some());
+
+    let racy = RacyBool::new(2);
+    assert!(explore(&racy, &cfg(1)).violation.is_some());
+
+    // BrokenPeterson's race needs a second passage to surface;
+    // StaleTournament's needs a third.
+    let peterson = BrokenPeterson;
+    assert!(explore(&peterson, &cfg(2)).violation.is_some());
+
+    let stale = StaleTournament::new(2);
+    assert!(explore(&stale, &cfg(3)).violation.is_some());
+}
+
+#[test]
+fn violation_witnesses_are_genuine_executions() {
     let alg = RacyBool::new(3);
-    let out = check_mutual_exclusion(&alg, CheckConfig::default());
-    let v = out.violation.expect("found");
-    let sys = exclusion::shmem::replay(&alg, v.witness.steps(), |_| {}).expect("replays");
+    let report = explore(&alg, &cfg(1));
+    let v = report.violation.expect("found");
+    // The witness schedule re-executes from the initial state to a
+    // state with two processes in the critical section — it is a real
+    // run, not a certificate about an abstract graph.
+    let dref = DynRef(&alg);
+    let mut sys = System::new(&dref);
+    for &p in &v.schedule {
+        sys.step(p);
+    }
     assert_eq!(sys.in_critical().count(), 2);
+    let (a, b) = v.culprits;
+    assert_ne!(a, b);
 }
 
 #[test]
-fn construction_diagnoses_non_livelock_free_runs() {
-    // The token ring cannot serve permutations that differ from the
-    // token order: the construction reports *which* process is stuck on
-    // *which* register.
-    let alg = Alternator::new(3);
-    let err = construct(
-        &alg,
-        &Permutation::from_order(
-            [1usize, 0, 2]
-                .map(exclusion::shmem::ProcessId::new)
-                .to_vec(),
-        ),
-        &ConstructConfig::default(),
+fn crash_certification_rejects_lying_recovery_claims() {
+    // `broken-recover` claims `recoverable` in its registry metadata
+    // and is crash-free indistinguishable from the honest `rtas` — the
+    // crash-aware explorer is the only machinery that can expose the
+    // lie, and it must do so with a replayable fault witness.
+    let reg = conformance_registry();
+    let alg = reg.resolve_str("broken-recover", 2).unwrap().automaton;
+
+    assert!(
+        explore(alg.as_ref(), &cfg(1)).certified_safe(),
+        "crash-free, the lie is invisible"
+    );
+    let report = certify_recoverable(alg.as_ref(), 1, &cfg(1));
+    let witness = report.violation.expect("one crash leaks the CS");
+
+    let (mut script, mut plan) = witness.replay_artifacts();
+    let replayed = run_faulted(
+        &DynRef(alg.as_ref()),
+        &mut script,
+        &mut plan,
+        1,
+        witness.trace.len() + 1,
     )
-    .unwrap_err();
-    match err {
-        ConstructError::Stuck { stage, pid, reg } => {
-            assert_eq!(stage, 0);
-            assert_eq!(pid.index(), 1);
-            assert_eq!(reg.index(), 0);
-        }
-        other => panic!("expected Stuck, got {other:?}"),
-    }
+    .expect("witness replays");
+    assert_eq!(replayed, witness.trace, "bit-identical replay");
+    assert!(!replayed.mutual_exclusion(2));
 }
 
 #[test]
-fn budget_exhaustion_is_reported() {
-    let alg = Bakery::new(6);
-    let err = construct(
-        &alg,
-        &Permutation::identity(6),
-        &ConstructConfig {
-            max_steps_per_stage: 3,
-            ..ConstructConfig::default()
-        },
-    )
-    .unwrap_err();
-    assert!(matches!(err, ConstructError::BudgetExceeded { .. }));
+fn budget_exhaustion_is_reported_not_truncated() {
+    // The fault driver reports an exhausted step budget as an error —
+    // it does not hand back a silently truncated execution.
+    let reg = conformance_registry();
+    let alg = reg.resolve_str("rtas", 3).unwrap().automaton;
+    let mut sched = exclusion::shmem::sched::RoundRobin::new();
+    let mut plan = FaultPlan::none();
+    let err = run_faulted(&DynRef(alg.as_ref()), &mut sched, &mut plan, 1, 3).unwrap_err();
+    assert!(err.to_string().contains("exceeded 3 steps"), "{err}");
 }
 
 #[test]
-fn construction_rejects_rmw_algorithms() {
+fn registries_reject_out_of_range_parameter_values() {
+    // Values outside a parameter's range fail as loudly as unknown
+    // keys: a negative crash budget does not wrap, zero patience does
+    // not silently disable the starvation valve.
+    let scheds = exclusion::workload::schedreg::SchedulerRegistry::global();
+    let err = scheds.resolve_str("fanlynch:crashes=-1", 4).unwrap_err();
+    assert!(
+        matches!(&err, SpecError::InvalidParam { key, .. } if key == "crashes"),
+        "{err}"
+    );
+    assert!(err.to_string().contains("non-negative integer"), "{err}");
+
+    let err = scheds.resolve_str("fanlynch:patience=0", 4).unwrap_err();
+    assert!(
+        matches!(&err, SpecError::InvalidParam { key, .. } if key == "patience"),
+        "{err}"
+    );
+    assert!(err.to_string().contains(">= 1"), "{err}");
+
+    // Typo'd keys still get the nearest-key suggestion alongside.
+    let err = scheds.resolve_str("fanlynch:crashs=1", 4).unwrap_err();
+    assert!(err.to_string().contains("did you mean `crashes`?"), "{err}");
+}
+
+#[test]
+fn the_register_only_filter_rejects_rmw_algorithms() {
     // The paper's model — and its Ω(n log n) bound — is register-only;
-    // feeding a queue lock to the construction is diagnosed, not
-    // mishandled.
-    for alg in exclusion::mutex::AnyAlgorithm::rmw_suite(3) {
-        let err = construct(&alg, &Permutation::identity(3), &ConstructConfig::default())
-            .expect_err(&alg.name());
-        assert!(
-            matches!(err, ConstructError::UnsupportedStep { .. }),
-            "{}: {err:?}",
-            alg.name()
-        );
-    }
-}
-
-#[test]
-fn decoding_with_the_wrong_algorithm_fails() {
-    let bakery = Bakery::new(5);
-    let dekker = DekkerTournament::new(5);
-    let pi = Permutation::reversed(5);
-    let enc = encode(&construct(&bakery, &pi, &ConstructConfig::default()).unwrap());
-    assert!(decode(&dekker, &enc).is_err());
-}
-
-#[test]
-fn truncated_bitstreams_are_rejected() {
-    use exclusion::lb::Encoding;
-    let alg = DekkerTournament::new(4);
-    let pi = Permutation::identity(4);
-    let enc = encode(&construct(&alg, &pi, &ConstructConfig::default()).unwrap());
-    let (bytes, bits) = enc.to_bits();
-    for cut in [1usize, 2, 7, bits / 2] {
-        assert!(
-            Encoding::from_bits(&bytes, bits - cut, 4).is_err(),
-            "cut {cut} must not parse"
-        );
+    // the growth suites derive their algorithm list from the registry's
+    // own metadata, so RMW locks cannot leak into the theorem's scope.
+    let names =
+        exclusion::bound::register_only(exclusion::mutex::registry::AlgorithmRegistry::global());
+    assert!(names.contains(&"peterson".to_string()));
+    assert!(
+        names.contains(&"rpeterson".to_string()),
+        "register-only recoverable"
+    );
+    for rmw in ["rtas", "tas", "ttas", "mcs"] {
+        assert!(!names.contains(&rmw.to_string()), "{rmw} is RMW");
     }
 }
 
@@ -135,5 +159,10 @@ fn execution_predicates_reject_malformed_traces() {
     assert!(!e.well_formed(1));
     // process id out of range
     let e = Execution::from_steps(vec![Step::crit(ProcessId::new(5), CritKind::Try)]);
+    assert!(!e.well_formed(2));
+    // a crash of an out-of-range process is malformed too
+    let e = Execution::from_steps(vec![Step::Crash {
+        pid: ProcessId::new(9),
+    }]);
     assert!(!e.well_formed(2));
 }

@@ -131,13 +131,17 @@ fn register_only_sc_curves_are_superlinear_per_process() {
 /// while catching any regression that flattens a curve.
 #[test]
 fn sc_fit_coefficients_are_pinned() {
-    let pinned: [(&str, f64); 6] = [
+    let pinned: [(&str, f64); 7] = [
         ("dekker-tree", 8.49),
         ("peterson", 136.05),
         ("bakery", 29.96),
         ("filter", 8564.7),
         ("dijkstra", 392.1),
         ("burns-lynch", 459.5),
+        // Crash-free, rpeterson delegates step-for-step to peterson
+        // (the recovery section only runs after a crash, and no crash
+        // is ever injected here), so its curve pins to the same value.
+        ("rpeterson", 136.05),
     ];
     // The pin table must cover exactly the registry's register-only
     // entries: adding a paper-model lock without pinning its curve is

@@ -106,6 +106,7 @@ fn extended_registries() -> (AlgorithmRegistry, SchedulerRegistry) {
             summary: "single-register token ring with courtesy lingering".into(),
             min_n: 1,
             uses_rmw: false,
+            recoverable: false,
             cost_class: "Θ(n)/handoff".into(),
             params: vec![ParamInfo {
                 key: "linger",

@@ -51,7 +51,9 @@ proptest! {
                     prop_assert_eq!(o.read_value, Some(old));
                     shadow[reg.index()] = op.apply(old);
                 }
-                Step::Crit { .. } => {}
+                // Crashes leave registers untouched (and cannot appear in
+                // an unfaulted run anyway).
+                Step::Crit { .. } | Step::Crash { .. } => {}
             }
         }
     }

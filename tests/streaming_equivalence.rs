@@ -37,15 +37,38 @@ fn all_specs(n: usize) -> Vec<SchedSpec> {
 #[test]
 fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
     let n = 4;
-    let passages = fixtures::PASSAGES;
     let algs = AlgorithmRegistry::global();
-    let scheds = SchedulerRegistry::global();
     for name in algs.names() {
-        let typed = AnyAlgorithm::by_name(&name, n).expect("suite name");
         let erased = algs
             .resolve_str(&name, n)
             .expect("registry entry")
             .automaton;
+        // Registry-native entries (the recoverable locks) have no
+        // typed-enum twin; their recorded leg drives an independently
+        // resolved erased handle instead, which still pins streaming
+        // == replay across two separately constructed automata.
+        match AnyAlgorithm::by_name(&name, n) {
+            Some(typed) => grid_leg(&name, &typed, erased, n),
+            None => {
+                let twin = algs
+                    .resolve_str(&name, n)
+                    .expect("registry entry")
+                    .automaton;
+                grid_leg(&name, &DynRef(twin.as_ref()), erased, n);
+            }
+        }
+    }
+}
+
+fn grid_leg<A: Automaton>(
+    name: &str,
+    typed: &A,
+    erased: std::sync::Arc<dyn exclusion::shmem::DynAutomaton + Send + Sync>,
+    n: usize,
+) {
+    let passages = fixtures::PASSAGES;
+    let scheds = SchedulerRegistry::global();
+    {
         for spec in all_specs(n) {
             let sched = scheds.resolve(spec.spec(), n).expect("known policy");
             let seeds: &[u64] = if sched.seeded { fixtures::SEEDS } else { &[0] };
@@ -53,9 +76,9 @@ fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
                 let label = format!("{name} under {} seed {seed}", sched.label);
 
                 let mut recording = sched.build(passages, seed);
-                let exec = run_scheduler(&typed, recording.as_mut(), passages, MAX_STEPS)
+                let exec = run_scheduler(typed, recording.as_mut(), passages, MAX_STEPS)
                     .unwrap_or_else(|e| panic!("{label}: {e}"));
-                let (sc, cc, dsm) = all_costs(&typed, &exec).expect("replay");
+                let (sc, cc, dsm) = all_costs(typed, &exec).expect("replay");
 
                 let mut streaming = sched.build(passages, seed);
                 let priced =
