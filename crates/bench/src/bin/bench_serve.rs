@@ -1,0 +1,61 @@
+//! `bench_serve` — the lock-service throughput benchmark: serves the
+//! same open request stream across worker counts and arrival models
+//! and writes `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve                        # full grid (1M requests/cell), BENCH_serve.json
+//! bench_serve --quick --out -       # 100k requests/cell, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any stripe errors, a worker count changes the
+//! report (bit-identity), or no cell sustains 1M requests/s — CI runs
+//! this as the serve-throughput regression gate.
+
+use std::process::ExitCode;
+
+use exclusion_bench::servebench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_serve: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_serve [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_serve: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cells = run(quick);
+    eprint!("{}", to_text(&cells));
+    let json = to_json(&cells, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_serve: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&cells) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_serve: a stripe failed, a worker count changed the report, or no cell reached the throughput gate"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -15,7 +15,10 @@
 //! collecting, gates the overhead, and emits `BENCH_trace.json`; the
 //! `bench_crash` binary (module [`crashbench`]) plays the crash-budget
 //! adversary game over the recoverable locks, cross-checks the
-//! exhaustive crash certification, and emits `BENCH_crash.json`.
+//! exhaustive crash certification, and emits `BENCH_crash.json`; the
+//! `bench_serve` binary (module [`servebench`]) serves the same open
+//! request stream across worker counts and arrival models, gates the
+//! aggregate throughput, and emits `BENCH_serve.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -30,6 +33,7 @@ pub mod crashbench;
 pub mod dispatchbench;
 pub mod experiments;
 pub mod explorebench;
+pub mod servebench;
 pub mod sweepbench;
 pub mod table;
 pub mod tracebench;

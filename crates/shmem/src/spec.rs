@@ -192,6 +192,42 @@ impl Spec {
         }
     }
 
+    /// Parses the named parameter as an `f64` constrained to
+    /// `[min, max]`: a present value that does not parse, is not
+    /// finite, or falls outside the range is rejected with the expected
+    /// range spelled out. An absent key yields `default` unchecked —
+    /// bounds constrain the user's spelling, not the registry's own
+    /// fallback. Arrival-rate parameters (`poisson:rate=0.5`) resolve
+    /// through this, so `rate=-1` fails loudly instead of wrapping or
+    /// silently clamping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidParam`] when the value does not
+    /// parse as a finite number or lies outside `[min, max]`.
+    pub fn f64_param_in_range(
+        &self,
+        key: &str,
+        default: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<f64, SpecError> {
+        let Some(v) = self.get(key) else {
+            return Ok(default);
+        };
+        let out_of_range = || SpecError::InvalidParam {
+            spec: self.label(),
+            key: key.to_string(),
+            value: v.to_string(),
+            expected: format!("a number in [{min}, {max}]"),
+        };
+        let parsed: f64 = v.parse().map_err(|_| out_of_range())?;
+        if !parsed.is_finite() || parsed < min || parsed > max {
+            return Err(out_of_range());
+        }
+        Ok(parsed)
+    }
+
     /// Rejects parameters outside `known`, with an error naming the
     /// valid keys — registries call this so typos fail loudly instead of
     /// being ignored.
@@ -404,6 +440,47 @@ mod tests {
         assert_eq!(spec.usize_param_at_least("patience", 1, 1).unwrap(), 1);
         let spec = Spec::parse("fanlynch").unwrap();
         assert_eq!(spec.usize_param_at_least("patience", 0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn float_params_in_range_parse_reject_and_default() {
+        // In-range values parse, including scientific notation.
+        let spec = Spec::parse("poisson:rate=0.5").unwrap();
+        assert_eq!(
+            spec.f64_param_in_range("rate", 1.0, 0.000001, 1000000.0)
+                .unwrap(),
+            0.5
+        );
+        let spec = Spec::parse("poisson:rate=2e3").unwrap();
+        assert_eq!(
+            spec.f64_param_in_range("rate", 1.0, 0.000001, 1000000.0)
+                .unwrap(),
+            2000.0
+        );
+        // Out-of-range, junk, and non-finite values all name the
+        // expected range.
+        for bad in ["-1", "0", "2000000", "fast", "nan", "inf"] {
+            let spec = Spec::parse(&format!("poisson:rate={bad}")).unwrap();
+            let err = spec
+                .f64_param_in_range("rate", 1.0, 0.000001, 1000000.0)
+                .unwrap_err();
+            let SpecError::InvalidParam { key, expected, .. } = &err else {
+                panic!("{bad}: {err}")
+            };
+            assert_eq!(key, "rate", "{bad}");
+            assert_eq!(expected, "a number in [0.000001, 1000000]", "{bad}");
+        }
+        // Boundaries pass; an absent key yields the default unchecked.
+        let spec = Spec::parse("poisson:rate=0.000001").unwrap();
+        assert!(spec
+            .f64_param_in_range("rate", 1.0, 0.000001, 1000000.0)
+            .is_ok());
+        let spec = Spec::parse("poisson").unwrap();
+        assert_eq!(
+            spec.f64_param_in_range("rate", -3.0, 0.000001, 1000000.0)
+                .unwrap(),
+            -3.0
+        );
     }
 
     #[test]

@@ -60,6 +60,41 @@ impl Hist {
         }
     }
 
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the observed values at
+    /// the histogram's power-of-two resolution: nearest-rank selection
+    /// over the buckets, returning the **inclusive upper edge** of the
+    /// bucket holding that rank (`0` for the zero bucket, `2^b − 1`
+    /// for bucket `b`).
+    ///
+    /// The upper edge makes the estimate conservative for latency-style
+    /// reporting, with a guaranteed bracket: for a positive exact
+    /// quantile `x` below the saturated top bucket (`x < 2^62`),
+    /// `x ≤ quantile(q) < 2·x`; for an all-zero distribution the
+    /// result is exactly `0`. An empty histogram yields `0`. `q`
+    /// outside `[0, 1]` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest rank r (1-based) with r ≥ q·total.
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match b {
+                    0 => 0,
+                    _ if b == BUCKETS - 1 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+            }
+        }
+        unreachable!("rank ≤ total, so some bucket holds it")
+    }
+
     /// The buckets as a JSON array, trailing zero buckets trimmed.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -411,6 +446,54 @@ mod tests {
         let mut one = Hist::default();
         one.observe(2);
         assert_eq!(one.to_json(), "[0,0,1]");
+    }
+
+    /// `quantile` against exact nearest-rank quantiles on known
+    /// distributions: the power-of-two bracket `x ≤ quantile(q) < 2x`
+    /// must hold everywhere, and be exact where values are powers of
+    /// two minus one (a bucket's whole mass on its upper edge).
+    #[test]
+    fn quantiles_bracket_exact_values_on_known_distributions() {
+        // Uniform 1..=1000, exact quantile x = ceil(q·1000).
+        let mut h = Hist::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        for q in [0.01f64, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = (q * 1000.0).ceil() as u64;
+            let est = h.quantile(q);
+            assert!(exact <= est && est < 2 * exact, "q={q}: {exact} vs {est}");
+        }
+        // A constant distribution on an upper bucket edge is exact.
+        let mut h = Hist::default();
+        for _ in 0..100 {
+            h.observe(127);
+        }
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 127);
+        }
+        // Two-point mass: the median sits on the low point, p99 on the
+        // high one — nearest-rank, not interpolation.
+        let mut h = Hist::default();
+        for _ in 0..95 {
+            h.observe(1);
+        }
+        for _ in 0..5 {
+            h.observe(1_000_000);
+        }
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.95), 1);
+        let p99 = h.quantile(0.99);
+        assert!((1_000_000..2_000_000).contains(&p99), "{p99}");
+        // Zeros, emptiness, and the saturated top bucket.
+        assert_eq!(Hist::default().quantile(0.5), 0);
+        let mut h = Hist::default();
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.quantile(1.0), 0);
+        let mut h = Hist::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
     }
 
     #[test]

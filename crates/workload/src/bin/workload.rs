@@ -40,6 +40,9 @@ USAGE:
                                   forced-RMR curves (see crash --help)
     workload trace [OPTIONS]      trace one run to Chrome/Perfetto JSON
                                   (see trace --help)
+    workload serve [OPTIONS]      open-stream lock service: arrival
+                                  models, deadlines, live percentiles
+                                  (see serve --help)
 
 OPTIONS:
     --algs A,B,...       algorithm specs to sweep (default:
@@ -1379,6 +1382,207 @@ fn run_trace(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_USAGE: &str = "\
+workload serve — drive an open stream of lock requests through one
+algorithm as a deterministic discrete-event loop, with bounded-memory
+live percentiles
+
+USAGE:
+    workload serve [OPTIONS]
+
+OPTIONS:
+    --alg A              algorithm spec (default: peterson)
+    --n N                processes = max requests in flight (default: 4)
+    --sched S            scheduler spec from the registry
+                         (default: round-robin)
+    --arrivals M         arrival model spec: steady[:gap=G] |
+                         poisson[:rate=R] | bursty[:size=B,gap=G] |
+                         diurnal[:period=P,peak=R,trough=R]
+                         (default: poisson:rate=0.25)
+    --requests N         stream length (default: 1000000)
+    --deadline D         queue patience in ticks; a request waiting
+                         longer abandons, and is counted
+                         (default: wait forever)
+    --ring R             pending-ring capacity, 0 = 2n (default: 0)
+    --stripe S           requests per shard (default: 8192)
+    --workers W          worker threads, 0 = one per core (default: 0)
+    --seed S             base seed (default: 1)
+    --max-steps N        step budget per stripe (default: 50000000)
+    --no-cache           disable the solo-admission cache
+    --json PATH          write the JSON report (`-` for stdout,
+                         the default)
+    --progress every:N   print a status line to stderr every N events
+                         (0 = off)
+    --quiet              suppress the stderr summary
+    --help               this text
+
+The report is a pure function of every option above except --workers
+and --progress: byte-identical across worker counts and repeated runs.
+Failed stripes (step budget, misbehaving scheduler) are reported in
+the JSON and exit nonzero; they never panic.
+";
+
+struct ServeArgs {
+    alg: String,
+    n: usize,
+    sched: String,
+    arrivals: String,
+    requests: u64,
+    deadline: Option<u64>,
+    ring: usize,
+    stripe: u64,
+    workers: usize,
+    seed: u64,
+    max_steps: u64,
+    cache: bool,
+    json: String,
+    every: u64,
+    quiet: bool,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<Option<ServeArgs>, String> {
+    let mut args = ServeArgs {
+        alg: "peterson".into(),
+        n: 4,
+        sched: "round-robin".into(),
+        arrivals: "poisson:rate=0.25".into(),
+        requests: 1_000_000,
+        deadline: None,
+        ring: 0,
+        stripe: 8192,
+        workers: 0,
+        seed: 1,
+        max_steps: 50_000_000,
+        cache: true,
+        json: "-".into(),
+        every: 0,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--alg" => args.alg = value()?,
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--sched" => args.sched = value()?,
+            "--arrivals" => args.arrivals = value()?,
+            "--requests" => {
+                args.requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--deadline" => {
+                args.deadline = Some(value()?.parse().map_err(|e| format!("--deadline: {e}"))?);
+            }
+            "--ring" => args.ring = value()?.parse().map_err(|e| format!("--ring: {e}"))?,
+            "--stripe" => args.stripe = value()?.parse().map_err(|e| format!("--stripe: {e}"))?,
+            "--workers" => {
+                args.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--max-steps" => {
+                args.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?;
+            }
+            "--no-cache" => args.cache = false,
+            "--json" => args.json = value()?,
+            "--progress" => args.every = parse_progress(&value()?)?,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{SERVE_USAGE}");
+                return Ok(None);
+            }
+            other => match other.strip_prefix("--progress=") {
+                Some(v) => args.every = parse_progress(v)?,
+                None => return Err(format!("unknown flag `{other}` (try serve --help)")),
+            },
+        }
+    }
+    if args.stripe == 0 {
+        return Err("--stripe must be positive".into());
+    }
+    Ok(Some(args))
+}
+
+fn run_serve(argv: &[String]) -> Result<(), String> {
+    use exclusion_serve::{ServeJob, ServeOptions};
+
+    let Some(args) = parse_serve_args(argv)? else {
+        return Ok(());
+    };
+    // Registry schedulers are built per stripe; closed-scenario
+    // policies that size themselves by passages (`sequential`) get the
+    // stripe length as the hint — one serve stripe admits at most
+    // `stripe` requests.
+    let resolved = SchedulerRegistry::global()
+        .resolve_str(&args.sched, args.n)
+        .map_err(|e| e.to_string())?;
+    let passages_hint = usize::try_from(args.stripe).unwrap_or(usize::MAX);
+    let job = ServeJob::new(&args.alg, args.n, args.requests)
+        .map_err(|e| e.to_string())?
+        .arrivals(&args.arrivals)
+        .map_err(|e| e.to_string())?
+        .scheduler(resolved.label.clone(), move |seed| {
+            resolved.build(passages_hint, seed)
+        });
+    let opts = ServeOptions {
+        workers: args.workers,
+        stripe: args.stripe,
+        ring: args.ring,
+        deadline: args.deadline,
+        seed: args.seed,
+        max_steps: args.max_steps,
+        cache: args.cache,
+        progress: args.every,
+    };
+    let start = std::time::Instant::now();
+    let report = exclusion_serve::serve(&job, &opts);
+    let elapsed = start.elapsed().as_secs_f64();
+    if !args.quiet {
+        #[allow(clippy::cast_precision_loss)]
+        let rate = |x: u64| x as f64 / elapsed.max(1e-9);
+        eprintln!(
+            "served {} of {} requests ({} abandoned, {} unserved) on {} {} under {} [{}]",
+            report.completed,
+            report.requests,
+            report.abandoned,
+            report.unserved,
+            report.algorithm,
+            format_args!("n={}", report.n),
+            report.scheduler,
+            report.arrivals,
+        );
+        eprintln!(
+            "  {} steps in {:.1} ms wall ({:.0} requests/s, {:.0} steps/s) | cache {} hits / {} misses",
+            report.steps,
+            elapsed * 1e3,
+            rate(report.completed),
+            rate(report.steps),
+            report.cache_hits,
+            report.cache_misses,
+        );
+        eprintln!(
+            "  latency ticks p50 {} p90 {} p99 {} p999 {} | throughput {:.4}/tick | abandonment {:.4}",
+            report.latency.quantile(0.50),
+            report.latency.quantile(0.90),
+            report.latency.quantile(0.99),
+            report.latency.quantile(0.999),
+            report.throughput(),
+            report.abandonment_rate(),
+        );
+    }
+    emit(&args.json, "serve report", &report.to_json())?;
+    if !report.errors.is_empty() {
+        return Err(format!(
+            "{} stripes failed ({})",
+            report.errors.len(),
+            report.errors[0]
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explore") {
@@ -1392,6 +1596,9 @@ fn run() -> Result<(), String> {
     }
     if argv.first().map(String::as_str) == Some("trace") {
         return run_trace(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return run_serve(&argv[1..]);
     }
     let Some(args) = parse_args(&argv)? else {
         return Ok(());
@@ -1423,8 +1630,10 @@ fn run() -> Result<(), String> {
     if !args.quiet {
         print!("{}", report.to_text());
         let busy_ns: u64 = report.records.iter().map(|r| r.wall_ns).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let throughput = report.records.len() as f64 / elapsed.as_secs_f64().max(1e-9);
         eprintln!(
-            "swept {} runs in {:.1} ms wall ({:.1} ms of worker time, {} pricing)",
+            "swept {} runs in {:.1} ms wall ({throughput:.0} runs/s, {:.1} ms of worker time, {} pricing)",
             report.records.len(),
             elapsed.as_secs_f64() * 1e3,
             busy_ns as f64 / 1e6,

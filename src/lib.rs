@@ -24,6 +24,10 @@
 //! * [`lb`] — the lower-bound machinery itself: `construct` (Figure 1),
 //!   `encode` (Figure 2), `decode` (Figure 3), and validators for every
 //!   theorem;
+//! * [`serve`] — the open-stream lock-service engine: composable
+//!   seeded arrival models (Poisson, bursty, diurnal), a bounded
+//!   in-flight ring with deadlines and abandonment, and sharded
+//!   bit-identical reports with bounded-memory live percentiles;
 //! * [`spin`] — real-hardware locks on `std::sync::atomic` mirroring
 //!   the simulated family;
 //! * [`workload`] — the adversarial scenario engine: pluggable
@@ -70,6 +74,7 @@ pub use exclusion_cost as cost;
 pub use exclusion_explore as explore;
 pub use exclusion_lb as lb;
 pub use exclusion_mutex as mutex;
+pub use exclusion_serve as serve;
 pub use exclusion_shmem as shmem;
 pub use exclusion_spin as spin;
 pub use exclusion_trace as trace;
