@@ -7,9 +7,9 @@
 //! ```
 //!
 //! Exits nonzero if any cell fails certification, a witness
-//! cross-check fails, exploration truncates, or the planted `broken`
-//! lock goes uncaught — CI runs the `--quick` grid as the exploration
-//! smoke test.
+//! cross-check fails, exploration truncates, the planted `broken`
+//! lock goes uncaught, or the orbit-reduction gate misses its 10x
+//! shrink — CI runs the `--quick` grid as the exploration smoke test.
 
 use std::process::ExitCode;
 
@@ -39,9 +39,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    let (cells, broken) = run(quick);
-    eprint!("{}", to_text(&cells, &broken));
-    let json = to_json(&cells, &broken, quick);
+    let (cells, broken, reductions) = run(quick);
+    eprint!("{}", to_text(&cells, &broken, &reductions));
+    let json = to_json(&cells, &broken, &reductions, quick);
     if out_path == "-" {
         println!("{json}");
     } else if let Err(e) = std::fs::write(&out_path, &json) {
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
     } else {
         eprintln!("wrote {out_path}");
     }
-    if all_clean(&cells, &broken) {
+    if all_clean(&cells, &broken, &reductions) {
         ExitCode::SUCCESS
     } else {
         eprintln!("bench_explore: some cells failed certification or a cross-check");

@@ -11,6 +11,12 @@
 //! grid (n ∈ {2, 3}) on every push and uploads the JSON as an
 //! artifact; the binary exits nonzero if any cell fails certification
 //! or a cross-check.
+//!
+//! The table also carries an **orbit-reduction gate**: a genuinely
+//! symmetric entry is explored with and without canonicalization, the
+//! verdicts must agree, and the quotient must shrink the state space
+//! by at least 10x — the regression guard for the symmetry machinery
+//! that makes exact verdicts past n = 4 feasible at all.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -64,6 +70,44 @@ pub struct ExploreCell {
     pub wall_ns: u128,
 }
 
+/// One orbit-reduction measurement: the same bounded space explored
+/// with and without symmetry canonicalization.
+#[derive(Clone, Debug)]
+pub struct ReductionCheck {
+    /// Algorithm spec (a registry entry declaring symmetry).
+    pub algorithm: String,
+    /// Process count.
+    pub n: usize,
+    /// Reachable orbit representatives with canonicalization on.
+    pub reduced_states: usize,
+    /// Raw reachable states with canonicalization off.
+    pub full_states: usize,
+    /// Whether the two runs agreed on every verdict (safety, hazard
+    /// kind, BFS depth) — reduction must change the count, not the
+    /// conclusion.
+    pub verdicts_agree: bool,
+    /// Wall-clock nanoseconds for both explorations.
+    pub wall_ns: u128,
+}
+
+impl ReductionCheck {
+    /// How many raw states each orbit representative stands for.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.reduced_states == 0 {
+            0.0
+        } else {
+            self.full_states as f64 / self.reduced_states as f64
+        }
+    }
+
+    /// The gate: verdicts agree and the quotient shrinks ≥ 10x.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.verdicts_agree && self.ratio() >= 10.0
+    }
+}
+
 /// The planted `broken` lock must be caught at every table size.
 #[derive(Clone, Debug)]
 pub struct BrokenCheck {
@@ -113,7 +157,7 @@ fn check_witness(alg: &dyn DynAutomaton, report: &WorstCaseReport) -> bool {
 /// space explodes past that — see the module docs of
 /// `exclusion-explore`), plus the `broken` catch at each `n ≤ 3`.
 #[must_use]
-pub fn run(quick: bool) -> (Vec<ExploreCell>, Vec<BrokenCheck>) {
+pub fn run(quick: bool) -> (Vec<ExploreCell>, Vec<BrokenCheck>, Vec<ReductionCheck>) {
     let ns: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4] };
     let registry = conformance_registry();
     let cfg = ExploreConfig::default();
@@ -173,22 +217,65 @@ pub fn run(quick: bool) -> (Vec<ExploreCell>, Vec<BrokenCheck>) {
             }
         })
         .collect();
-    (cells, broken)
+    // The orbit-reduction gate: the symmetric splitter lock, at the
+    // smallest n whose orbits are big enough for a 10x quotient.
+    let reductions = [if quick { 4 } else { 5 }]
+        .into_iter()
+        .map(|n| {
+            let alg = registry
+                .resolve_str("splitter", n)
+                .expect("splitter resolves")
+                .automaton;
+            let start = Instant::now();
+            let reduced = explore(alg.as_ref(), &cfg);
+            let full = explore(
+                alg.as_ref(),
+                &ExploreConfig {
+                    symmetry: false,
+                    ..cfg
+                },
+            );
+            ReductionCheck {
+                algorithm: "splitter".into(),
+                n,
+                reduced_states: reduced.states,
+                full_states: full.states,
+                verdicts_agree: !reduced.truncated
+                    && !full.truncated
+                    && reduced.certified_safe() == full.certified_safe()
+                    && reduced.depth == full.depth
+                    && reduced.hazard.as_ref().map(|h| h.kind)
+                        == full.hazard.as_ref().map(|h| h.kind),
+                wall_ns: start.elapsed().as_nanos(),
+            }
+        })
+        .collect();
+    (cells, broken, reductions)
 }
 
 /// Whether every cell certified, every cross-check passed, nothing
-/// truncated, and the planted race was caught at every size.
+/// truncated, the planted race was caught at every size, and every
+/// orbit-reduction gate (verdict agreement + ≥ 10x shrink) passed.
 #[must_use]
-pub fn all_clean(cells: &[ExploreCell], broken: &[BrokenCheck]) -> bool {
+pub fn all_clean(
+    cells: &[ExploreCell],
+    broken: &[BrokenCheck],
+    reductions: &[ReductionCheck],
+) -> bool {
     cells
         .iter()
         .all(|c| c.certified && c.witness_ok && !c.worst.truncated)
         && broken.iter().all(|b| b.caught)
+        && reductions.iter().all(ReductionCheck::passes)
 }
 
 /// The table as aligned text, one block per model.
 #[must_use]
-pub fn to_text(cells: &[ExploreCell], broken: &[BrokenCheck]) -> String {
+pub fn to_text(
+    cells: &[ExploreCell],
+    broken: &[BrokenCheck],
+    reductions: &[ReductionCheck],
+) -> String {
     let mut out = String::new();
     for model in [Model::Sc, Model::Cc] {
         let mine: Vec<&ExploreCell> = cells.iter().filter(|c| c.model == model).collect();
@@ -228,12 +315,29 @@ pub fn to_text(cells: &[ExploreCell], broken: &[BrokenCheck]) -> String {
             b.schedule_len
         );
     }
+    for r in reductions {
+        let _ = writeln!(
+            out,
+            "orbit reduction {} at n={}: {} -> {} states ({:.1}x, gate >=10x: {})",
+            r.algorithm,
+            r.n,
+            r.full_states,
+            r.reduced_states,
+            r.ratio(),
+            if r.passes() { "pass" } else { "FAIL" },
+        );
+    }
     out
 }
 
 /// The full benchmark as one JSON document.
 #[must_use]
-pub fn to_json(cells: &[ExploreCell], broken: &[BrokenCheck], quick: bool) -> String {
+pub fn to_json(
+    cells: &[ExploreCell],
+    broken: &[BrokenCheck],
+    reductions: &[ReductionCheck],
+    quick: bool,
+) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
@@ -268,6 +372,25 @@ pub fn to_json(cells: &[ExploreCell], broken: &[BrokenCheck], quick: bool) -> St
             b.n, b.caught, b.schedule_len
         );
     }
+    out.push_str("],\"reductions\":[");
+    for (i, r) in reductions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"algorithm\":\"{}\",\"n\":{},\"reduced_states\":{},\"full_states\":{},\
+             \"ratio\":{:.3},\"verdicts_agree\":{},\"pass\":{},\"wall_ms\":{:.3}}}",
+            r.algorithm,
+            r.n,
+            r.reduced_states,
+            r.full_states,
+            r.ratio(),
+            r.verdicts_agree,
+            r.passes(),
+            r.wall_ns as f64 / 1e6,
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -278,16 +401,22 @@ mod tests {
 
     #[test]
     fn quick_grid_is_clean_and_serializes() {
-        let (cells, broken) = run(true);
+        let (cells, broken, reductions) = run(true);
         // 6 algorithms × 2 ns × 2 models.
         assert_eq!(cells.len(), 24);
         assert_eq!(broken.len(), 2);
-        assert!(all_clean(&cells, &broken), "{}", to_text(&cells, &broken));
-        let json = to_json(&cells, &broken, true);
+        assert_eq!(reductions.len(), 1);
+        assert!(
+            all_clean(&cells, &broken, &reductions),
+            "{}",
+            to_text(&cells, &broken, &reductions)
+        );
+        let json = to_json(&cells, &broken, &reductions, true);
         assert!(json.starts_with(&format!("{{\"schema\":\"{BENCH_SCHEMA}\"")));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        let text = to_text(&cells, &broken);
+        let text = to_text(&cells, &broken, &reductions);
         assert!(text.contains("dekker-tree"));
         assert!(text.contains("caught"));
+        assert!(text.contains("orbit reduction"));
     }
 }

@@ -48,7 +48,7 @@ use exclusion_shmem::probe::{NoProbe, Probe, SpanScope};
 use exclusion_shmem::sched::Script;
 use exclusion_shmem::{faulted_script, Execution, FaultPlan, ProcessId, System};
 
-use crate::graph::{build, CrashLens};
+use crate::graph::{build, decanonicalize_picks, CrashLens};
 use crate::ExploreConfig;
 
 /// A reachable mutual exclusion violation under a bounded crash
@@ -163,7 +163,7 @@ pub fn certify_recoverable_probed(
         .filter(|&&v| graph.nodes[v as usize].violating)
         .map(|&v| graph.steps_to(v))
         .min_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)))
-        .map(|picks| materialize(alg, picks));
+        .map(|picks| materialize(alg, decanonicalize_picks(alg, graph.symmetric, &picks)));
     CrashReport {
         algorithm: alg.name(),
         n: alg.processes(),

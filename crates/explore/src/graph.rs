@@ -18,6 +18,21 @@
 //! merged at a barrier, which is what makes node *depths* — and
 //! therefore every verdict derived from the graph — independent of the
 //! worker count.
+//!
+//! # Orbit reduction
+//!
+//! For algorithms declaring process-permutation symmetry
+//! ([`DynAutomaton::dyn_symmetric`]), every discovered snapshot is
+//! replaced by the canonical representative of its orbit
+//! ([`canonicalize_snapshot`]) before interning, so the table holds one
+//! node per orbit — up to `n!` fewer states — and every stored schedule
+//! lives in *canonical frames*: the pid recorded on an edge is the pid
+//! in the canonical relabelling of its source node, not in the original
+//! run. [`Decanon`] folds the recorded permutations back together to
+//! turn such a schedule into a bit-identically replayable one. Cost
+//! digests ride along through [`CostLens::permute_digest`], and a lens
+//! whose prices are *not* permutation-invariant opts out via
+//! [`CostLens::symmetry_compatible`].
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -27,7 +42,10 @@ use std::sync::Mutex;
 
 use exclusion_shmem::dynamic::{DynAutomaton, DynRef, DynState};
 use exclusion_shmem::probe::{Probe, TraceEvent};
-use exclusion_shmem::{Executed, ProcessId, Snapshot, System};
+use exclusion_shmem::{
+    canonicalize_snapshot, permute_snapshot, CritKind, Executed, NextStep, Perm, ProcessId,
+    Section, Snapshot, System,
+};
 
 use crate::ExploreConfig;
 
@@ -64,6 +82,44 @@ pub(crate) trait CostLens: Sync {
     fn crash_allowance(&self, _digest: &Self::Digest) -> usize {
         0
     }
+
+    /// Relabels the digest under a process permutation, so that pricing
+    /// a step in the canonical frame charges exactly what the original
+    /// frame would have. The default clone is correct for every digest
+    /// that mentions no process ids (`()`, crash counts); a lens whose
+    /// digest is pid-indexed (the CC cache masks) must permute it.
+    fn permute_digest(&self, digest: &Self::Digest, _perm: &Perm) -> Self::Digest {
+        digest.clone()
+    }
+
+    /// Whether this lens's prices are invariant under relabelling the
+    /// processes of `alg` — the precondition for orbit reduction on its
+    /// product graph. Defaults to `true`; the DSM lens refuses when any
+    /// register has a home process (remote-access charges then depend
+    /// on the labelling).
+    fn symmetry_compatible(&self, _alg: &dyn DynAutomaton) -> bool {
+        true
+    }
+
+    /// How many `u64` words [`digest_to_words`](CostLens::digest_to_words)
+    /// writes for an algorithm with `registers` registers, or `None`
+    /// when the digest has no fixed-width encoding — which disables the
+    /// spill-to-disk frontier for this lens.
+    fn digest_width(&self, _registers: usize) -> Option<usize> {
+        None
+    }
+
+    /// Encodes the digest into exactly
+    /// [`digest_width`](CostLens::digest_width) words.
+    fn digest_to_words(&self, _digest: &Self::Digest, _out: &mut [u64]) {
+        unreachable!("lens reports no digest width")
+    }
+
+    /// Decodes a digest previously written by
+    /// [`digest_to_words`](CostLens::digest_to_words).
+    fn digest_from_words(&self, _words: &[u64]) -> Self::Digest {
+        unreachable!("lens reports no digest width")
+    }
 }
 
 /// The state-change model of Definition 3.1: one unit per shared step
@@ -78,6 +134,12 @@ impl CostLens for ScLens {
     fn price(&self, (): &mut Self::Digest, done: &Executed) -> u32 {
         u32::from(done.state_changed && done.step.register().is_some())
     }
+
+    fn digest_width(&self, _registers: usize) -> Option<usize> {
+        Some(0)
+    }
+    fn digest_to_words(&self, (): &Self::Digest, _out: &mut [u64]) {}
+    fn digest_from_words(&self, _words: &[u64]) -> Self::Digest {}
 }
 
 /// The distributed-shared-memory model: one unit per access to a
@@ -107,6 +169,20 @@ impl CostLens for DsmLens {
             None => 0,
         }
     }
+
+    /// A register with a home process breaks price invariance: after a
+    /// relabelling, the same access pattern charges differently. With
+    /// no homes at all every access is remote and the price depends on
+    /// nothing but the step count — fully invariant.
+    fn symmetry_compatible(&self, _alg: &dyn DynAutomaton) -> bool {
+        self.home.iter().all(Option::is_none)
+    }
+
+    fn digest_width(&self, _registers: usize) -> Option<usize> {
+        Some(0)
+    }
+    fn digest_to_words(&self, (): &Self::Digest, _out: &mut [u64]) {}
+    fn digest_from_words(&self, _words: &[u64]) -> Self::Digest {}
 }
 
 /// The cache-coherent model: the digest holds, per register, the set of
@@ -151,6 +227,34 @@ impl CostLens for CcLens {
             }
         }
     }
+
+    /// The cache masks are pid-indexed bitsets: relabelling the
+    /// processes moves each process's valid bit to its new index.
+    fn permute_digest(&self, digest: &Self::Digest, perm: &Perm) -> Self::Digest {
+        digest
+            .iter()
+            .map(|&line| {
+                let mut out = 0u64;
+                let mut rest = line;
+                while rest != 0 {
+                    let p = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    out |= 1u64 << perm.apply_index(p);
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn digest_width(&self, registers: usize) -> Option<usize> {
+        Some(registers)
+    }
+    fn digest_to_words(&self, digest: &Self::Digest, out: &mut [u64]) {
+        out.copy_from_slice(digest);
+    }
+    fn digest_from_words(&self, words: &[u64]) -> Self::Digest {
+        words.to_vec()
+    }
 }
 
 /// The crash-certification lens: the digest counts crashes injected so
@@ -180,6 +284,16 @@ impl CostLens for CrashLens {
 
     fn crash_allowance(&self, digest: &Self::Digest) -> usize {
         self.budget.saturating_sub(*digest as usize)
+    }
+
+    fn digest_width(&self, _registers: usize) -> Option<usize> {
+        Some(1)
+    }
+    fn digest_to_words(&self, digest: &Self::Digest, out: &mut [u64]) {
+        out[0] = u64::from(*digest);
+    }
+    fn digest_from_words(&self, words: &[u64]) -> Self::Digest {
+        words[0] as u8
     }
 }
 
@@ -229,6 +343,10 @@ pub(crate) struct BuiltGraph {
     pub dedup_hits: usize,
     /// Largest BFS frontier over the whole build.
     pub peak_frontier: usize,
+    /// Whether orbit reduction was active: nodes are canonical orbit
+    /// representatives and every recorded schedule lives in canonical
+    /// frames — replay it through [`Decanon`], never directly.
+    pub symmetric: bool,
 }
 
 /// Which nodes can reach a goal node — backward reachability over
@@ -289,14 +407,33 @@ impl BuiltGraph {
 
 struct Shard<D> {
     /// 64-bit snapshot hash → node indices *within this shard* that
-    /// carry it (collisions resolved by full snapshot equality).
+    /// carry it (collisions resolved by full key equality).
     map: HashMap<u64, Vec<u32>>,
     nodes: Vec<BuildNode<D>>,
 }
 
+/// What a table node stores to recognize revisits.
+enum StoredKey<D> {
+    /// The full transposition key: exact, the default.
+    Full(Snap, D),
+    /// A 128-bit fingerprint of the key (two independently seeded hash
+    /// passes): an order of magnitude smaller, exact only modulo
+    /// fingerprint collisions — reports built this way say so via
+    /// `fingerprinted`.
+    Fingerprint(u128),
+}
+
+impl<D: Eq> StoredKey<D> {
+    fn matches(&self, snap: &Snap, digest: &D, fp: u128) -> bool {
+        match self {
+            StoredKey::Full(s, d) => s == snap && d == digest,
+            StoredKey::Fingerprint(f) => *f == fp,
+        }
+    }
+}
+
 struct BuildNode<D> {
-    snap: Snap,
-    digest: D,
+    key: StoredKey<D>,
     flat: FlatNode,
 }
 
@@ -304,10 +441,29 @@ struct Table<D> {
     shards: Vec<Mutex<Shard<D>>>,
     shard_bits: u32,
     count: AtomicUsize,
+    /// Store fingerprints instead of full keys (`ExploreConfig::compress`).
+    compress: bool,
+}
+
+/// The deterministic 128-bit key fingerprint: two [`DefaultHasher`]
+/// passes, the second seeded with a fixed prefix so the halves are
+/// independent. A pure function of the key — identical across workers
+/// and runs.
+fn fingerprint<D: Hash>(snap: &Snap, digest: &D) -> (u64, u128) {
+    let mut h1 = DefaultHasher::new();
+    snap.hash(&mut h1);
+    digest.hash(&mut h1);
+    let a = h1.finish();
+    let mut h2 = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64.hash(&mut h2);
+    snap.hash(&mut h2);
+    digest.hash(&mut h2);
+    let b = h2.finish();
+    (a, (u128::from(a) << 64) | u128::from(b))
 }
 
 impl<D: Eq> Table<D> {
-    fn new(shard_count: usize) -> Self {
+    fn new(shard_count: usize, compress: bool) -> Self {
         Table {
             shards: (0..shard_count)
                 .map(|_| {
@@ -319,6 +475,7 @@ impl<D: Eq> Table<D> {
                 .collect(),
             shard_bits: shard_count.trailing_zeros(),
             count: AtomicUsize::new(0),
+            compress,
         }
     }
 
@@ -330,22 +487,20 @@ impl<D: Eq> Table<D> {
     /// new. Ids pack the shard into the low bits so they can be decoded
     /// without a lookup. The key is only cloned into the table when it
     /// is actually new — revisits (the common case: every state is
-    /// rediscovered once per predecessor) allocate nothing.
+    /// rediscovered once per predecessor) allocate nothing — and under
+    /// `compress` only its fingerprint is kept.
     fn insert(&self, snap: &Snap, digest: &D, meta: FlatNode) -> (u32, bool)
     where
         D: Hash + Clone,
     {
-        let mut h = DefaultHasher::new();
-        snap.hash(&mut h);
-        digest.hash(&mut h);
-        let hv = h.finish();
+        let (hv, fp) = fingerprint(snap, digest);
         let s = (hv & self.mask()) as usize;
         let mut guard = self.shards[s].lock().expect("shard poisoned");
         let Shard { map, nodes } = &mut *guard;
         if let Some(ids) = map.get(&hv) {
             for &id in ids {
                 let idx = (id >> self.shard_bits) as usize;
-                if nodes[idx].snap == *snap && nodes[idx].digest == *digest {
+                if nodes[idx].key.matches(snap, digest, fp) {
                     return (id, false);
                 }
             }
@@ -353,8 +508,11 @@ impl<D: Eq> Table<D> {
         let idx = nodes.len() as u32;
         let id = (idx << self.shard_bits) | s as u32;
         nodes.push(BuildNode {
-            snap: snap.clone(),
-            digest: digest.clone(),
+            key: if self.compress {
+                StoredKey::Fingerprint(fp)
+            } else {
+                StoredKey::Full(snap.clone(), digest.clone())
+            },
             flat: meta,
         });
         map.entry(hv).or_default().push(id);
@@ -418,6 +576,229 @@ fn resolved_workers(cfg: &ExploreConfig) -> usize {
     }
 }
 
+#[cfg(unix)]
+fn section_word(s: Section) -> u64 {
+    match s {
+        Section::Remainder => 0,
+        Section::Trying => 1,
+        Section::Critical => 2,
+        Section::Exit => 3,
+    }
+}
+
+#[cfg(unix)]
+fn word_section(w: u64) -> Section {
+    match w {
+        0 => Section::Remainder,
+        1 => Section::Trying,
+        2 => Section::Critical,
+        3 => Section::Exit,
+        _ => unreachable!("invalid section word {w}"),
+    }
+}
+
+#[cfg(unix)]
+fn write_words(sink: &mut impl std::io::Write, words: &[u64]) -> std::io::Result<()> {
+    for &w in words {
+        sink.write_all(&w.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Fixed-width `u64` record codec for spilled frontier layers — one
+/// record per entry: `[id, states (n·w words), registers, sections,
+/// passages, digest]`. Only constructible when every process state uses
+/// the inline-word representation and the lens has a fixed-width digest
+/// encoding; anything else keeps the in-memory frontier.
+#[cfg(unix)]
+#[derive(Clone, Copy)]
+struct SpillCodec {
+    n: usize,
+    regs: usize,
+    state_words: usize,
+    digest_words: usize,
+}
+
+/// A completed BFS layer parked on disk: an *unlinked* temp file (the
+/// data lives through the handle, so nothing leaks even on panic) of
+/// fixed-size records, streamed back chunk-at-a-time during expansion.
+#[cfg(unix)]
+struct SpilledLayer {
+    file: std::fs::File,
+    /// Number of records in the file.
+    len: usize,
+    /// Whether any spilled snapshot still has an incomplete process —
+    /// precomputed at write time so the `max_depth` truncation check
+    /// needs no read-back.
+    incomplete: bool,
+}
+
+#[cfg(unix)]
+impl SpillCodec {
+    fn plan<L: CostLens>(lens: &L, root: &Snap, regs: usize) -> Option<SpillCodec> {
+        let digest_words = lens.digest_width(regs)?;
+        let state_words = root.states().first()?.words()?.len();
+        Some(SpillCodec {
+            n: root.states().len(),
+            regs,
+            state_words,
+            digest_words,
+        })
+    }
+
+    fn rec_words(&self) -> usize {
+        1 + self.n * self.state_words + self.regs + 2 * self.n + self.digest_words
+    }
+
+    fn encode<L: CostLens>(
+        &self,
+        lens: &L,
+        id: u32,
+        snap: &Snap,
+        digest: &L::Digest,
+        out: &mut Vec<u64>,
+    ) -> Option<()> {
+        out.push(u64::from(id));
+        for s in snap.states() {
+            out.extend_from_slice(s.words()?);
+        }
+        out.extend_from_slice(snap.registers());
+        out.extend(snap.sections().iter().map(|&s| section_word(s)));
+        out.extend(snap.passages().iter().map(|&p| p as u64));
+        let at = out.len();
+        out.resize(at + self.digest_words, 0);
+        lens.digest_to_words(digest, &mut out[at..]);
+        Some(())
+    }
+
+    fn decode<L: CostLens>(&self, lens: &L, rec: &[u64]) -> (u32, Snap, L::Digest) {
+        let mut at = 0usize;
+        let id = rec[at] as u32;
+        at += 1;
+        let mut states = Vec::with_capacity(self.n);
+        for _ in 0..self.n {
+            states.push(DynState::from_raw_words(&rec[at..at + self.state_words]));
+            at += self.state_words;
+        }
+        let regs = rec[at..at + self.regs].to_vec();
+        at += self.regs;
+        let sections = rec[at..at + self.n]
+            .iter()
+            .map(|&w| word_section(w))
+            .collect();
+        at += self.n;
+        let passages = rec[at..at + self.n].iter().map(|&w| w as usize).collect();
+        at += self.n;
+        let digest = lens.digest_from_words(&rec[at..at + self.digest_words]);
+        (
+            id,
+            Snapshot::from_parts(states, regs, sections, passages),
+            digest,
+        )
+    }
+
+    /// Writes a merged layer to a fresh anonymous temp file.
+    fn spill<L: CostLens>(
+        &self,
+        lens: &L,
+        layer: &[(u32, Snap, L::Digest)],
+        passages: usize,
+    ) -> std::io::Result<SpilledLayer> {
+        use std::io::Write;
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "exclusion-spill-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let _ = std::fs::remove_file(&path);
+        let flush_at = self.rec_words() * 1024;
+        let mut incomplete = false;
+        let mut words: Vec<u64> = Vec::with_capacity(flush_at + self.rec_words());
+        let mut sink = std::io::BufWriter::new(&file);
+        for (id, snap, digest) in layer {
+            if self.encode(lens, *id, snap, digest, &mut words).is_none() {
+                return Err(std::io::Error::other("non-inline state in spill layer"));
+            }
+            incomplete |= snap.passages().iter().any(|&p| p < passages);
+            if words.len() >= flush_at {
+                write_words(&mut sink, &words)?;
+                words.clear();
+            }
+        }
+        write_words(&mut sink, &words)?;
+        sink.flush()?;
+        drop(sink);
+        Ok(SpilledLayer {
+            file,
+            len: layer.len(),
+            incomplete,
+        })
+    }
+
+    /// Reads records `[start, start + count)` back into `buf`.
+    fn read_into<L: CostLens>(
+        &self,
+        lens: &L,
+        sp: &SpilledLayer,
+        start: usize,
+        count: usize,
+        buf: &mut Vec<(u32, Snap, L::Digest)>,
+    ) {
+        use std::os::unix::fs::FileExt;
+        let rw = self.rec_words();
+        let mut bytes = vec![0u8; count * rw * 8];
+        sp.file
+            .read_exact_at(&mut bytes, (start * rw * 8) as u64)
+            .expect("spilled frontier read failed");
+        buf.clear();
+        let mut words = vec![0u64; rw];
+        for rec in bytes.chunks_exact(rw * 8) {
+            for (w, b) in words.iter_mut().zip(rec.chunks_exact(8)) {
+                *w = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+            }
+            buf.push(self.decode(lens, &words));
+        }
+    }
+}
+
+/// The current BFS layer: in memory, or parked on disk behind the
+/// `spill` flag.
+enum Layer<D> {
+    Mem(Vec<(u32, Snap, D)>),
+    #[cfg(unix)]
+    Disk(SpillCodec, SpilledLayer),
+}
+
+impl<D> Layer<D> {
+    fn len(&self) -> usize {
+        match self {
+            Layer::Mem(v) => v.len(),
+            #[cfg(unix)]
+            Layer::Disk(_, sp) => sp.len,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn any_incomplete(&self, passages: usize) -> bool {
+        match self {
+            Layer::Mem(v) => v
+                .iter()
+                .any(|(_, snap, _)| snap.passages().iter().any(|&p| p < passages)),
+            #[cfg(unix)]
+            Layer::Disk(_, sp) => sp.incomplete,
+        }
+    }
+}
+
 /// Explores the bounded state space of `alg` under `lens` and returns
 /// the flattened graph. When `stop_on_violation` is set, exploration
 /// halts after the first BFS layer containing a mutual exclusion
@@ -442,27 +823,43 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
     let n = alg.processes();
     assert!(n <= 64, "the explorer supports at most 64 processes");
     let workers = resolved_workers(cfg);
+    // Bounds that cannot be honored are refused up front with the
+    // structured [`ExploreError`] message instead of asserting after
+    // the shard back-off below has already run out of room.
+    if let Err(e) = cfg.validated() {
+        panic!("{e}");
+    }
     // Node ids pack the shard into their low bits, so the per-shard
     // index budget shrinks with the shard count; trade contention for
-    // headroom when the state cap is huge.
+    // headroom when the state cap is huge. `validated()` above
+    // guarantees the 16-shard floor always leaves enough index space.
     let mut shard_count = (workers * 8).next_power_of_two().clamp(16, 1024);
     while shard_count > 16 && cfg.max_states >= (u32::MAX as usize) >> shard_count.trailing_zeros()
     {
         shard_count /= 2;
     }
-    assert!(
-        cfg.max_states < (u32::MAX as usize) >> shard_count.trailing_zeros(),
-        "max_states too large for 32-bit node ids"
-    );
-    let table: Table<L::Digest> = Table::new(shard_count);
+    debug_assert!(cfg.max_states < (u32::MAX as usize) >> shard_count.trailing_zeros());
+    let table: Table<L::Digest> = Table::new(shard_count, cfg.compress);
     let truncated = AtomicBool::new(false);
     let stop = AtomicBool::new(false);
     let violations: Mutex<Vec<u32>> = Mutex::new(Vec::new());
 
+    // Orbit reduction is on only when the config asks for it, the
+    // algorithm declares the symmetry contract, and the lens's prices
+    // survive relabelling. (`canonicalize_snapshot` additionally falls
+    // back to identity for boxed states, which keeps the build — and
+    // the de-canonicalization helpers, which go through the same
+    // function — sound even then.)
+    let symmetric = cfg.symmetry && n > 1 && alg.dyn_symmetric() && lens.symmetry_compatible(alg);
+
     let dref = DynRef(alg);
     let root_sys = System::new(&dref);
-    let root_snap = root_sys.snapshot();
-    let root_digest = lens.initial(alg.registers());
+    let (root_snap, root_perm) = if symmetric {
+        canonicalize_snapshot(alg, &root_sys.snapshot())
+    } else {
+        (root_sys.snapshot(), Perm::identity(n))
+    };
+    let root_digest = lens.permute_digest(&lens.initial(alg.registers()), &root_perm);
     let root_goal = root_snap.passages().iter().all(|&p| p >= cfg.passages);
     let (root, _) = table.insert(
         &root_snap,
@@ -478,7 +875,13 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
         },
     );
 
-    let mut frontier: Vec<(u32, Snap, L::Digest)> = vec![(root, root_snap, root_digest)];
+    #[cfg(unix)]
+    let spill_codec = if cfg.spill {
+        SpillCodec::plan(lens, &root_snap, alg.registers())
+    } else {
+        None
+    };
+    let mut frontier: Layer<L::Digest> = Layer::Mem(vec![(root, root_snap, root_digest)]);
     let mut depth = 0u32;
     let mut dedup_hits = 0usize;
     let mut peak_frontier = 0usize;
@@ -488,10 +891,7 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
         }
         peak_frontier = peak_frontier.max(frontier.len());
         if cfg.max_depth.is_some_and(|d| depth as usize >= d) {
-            let cut = frontier
-                .iter()
-                .any(|(_, snap, _)| snap.passages().iter().any(|&p| p < cfg.passages));
-            if cut {
+            if frontier.any_incomplete(cfg.passages) {
                 truncated.store(true, Ordering::Relaxed);
             }
             break;
@@ -508,14 +908,23 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
                         let dref = DynRef(alg);
                         let mut local = Vec::new();
                         let mut inserts = 0usize;
+                        #[cfg(unix)]
+                        let mut chunk_buf: Vec<(u32, Snap, L::Digest)> = Vec::new();
                         'pull: loop {
                             let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                             if start >= layer.len() || stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            for (id, snap, digest) in
-                                &layer[start..(start + CHUNK).min(layer.len())]
-                            {
+                            let end = (start + CHUNK).min(layer.len());
+                            let items = match layer {
+                                Layer::Mem(v) => &v[start..end],
+                                #[cfg(unix)]
+                                Layer::Disk(codec, sp) => {
+                                    codec.read_into(lens, sp, start, end - start, &mut chunk_buf);
+                                    chunk_buf.as_slice()
+                                }
+                            };
+                            for (id, snap, digest) in items {
                                 if stop.load(Ordering::Relaxed) {
                                     break 'pull;
                                 }
@@ -531,6 +940,29 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
                                 // lexicographic witness order crash-free
                                 // builds have always had.
                                 let crashes = lens.crash_allowance(digest) > 0;
+                                // Ample-set reduction: a `try`/`rem` step
+                                // is local (no register access), cannot
+                                // enter the critical section, and is the
+                                // only enabled step of its process, so it
+                                // commutes with every other process's
+                                // step — expanding it alone preserves
+                                // violation and goal *reachability*
+                                // (though not minimal witness depth, nor
+                                // which hazard kind a stuck orbit shows).
+                                // Only sound with no crash branch pending:
+                                // a crash of the ample process does not
+                                // commute with its own step.
+                                let ample = if cfg.por && !crashes {
+                                    ProcessId::all(n).find(|&p| {
+                                        snap.passages()[p.index()] < cfg.passages
+                                            && matches!(
+                                                alg.dyn_next_step(p, &snap.states()[p.index()]),
+                                                NextStep::Crit(CritKind::Try | CritKind::Rem)
+                                            )
+                                    })
+                                } else {
+                                    None
+                                };
                                 for crashed in [false, true] {
                                     if crashed && !crashes {
                                         break;
@@ -539,11 +971,21 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
                                         if snap.passages()[p.index()] >= cfg.passages {
                                             continue;
                                         }
+                                        if ample.is_some_and(|a| a != p) {
+                                            continue;
+                                        }
                                         let mut sys = base.clone();
                                         let done = if crashed { sys.crash(p) } else { sys.step(p) };
                                         let mut d2 = digest.clone();
                                         let cost = lens.price(&mut d2, &done);
-                                        let snap2 = sys.snapshot();
+                                        let mut snap2 = sys.snapshot();
+                                        if symmetric {
+                                            let (c, sigma) = canonicalize_snapshot(alg, &snap2);
+                                            if !sigma.is_identity() {
+                                                snap2 = c;
+                                                d2 = lens.permute_digest(&d2, &sigma);
+                                            }
+                                        }
                                         let goal =
                                             snap2.passages().iter().all(|&q| q >= cfg.passages);
                                         let violating = snap2.in_critical().nth(1).is_some();
@@ -624,7 +1066,22 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
         if next.is_empty() {
             break;
         }
-        frontier = next;
+        #[cfg(unix)]
+        {
+            frontier = match spill_codec {
+                // An io failure falls back to the in-memory layer: the
+                // spill is an optimization, never a correctness gate.
+                Some(codec) => match codec.spill(lens, &next, cfg.passages) {
+                    Ok(sp) => Layer::Disk(codec, sp),
+                    Err(_) => Layer::Mem(next),
+                },
+                None => Layer::Mem(next),
+            };
+        }
+        #[cfg(not(unix))]
+        {
+            frontier = Layer::Mem(next);
+        }
     }
 
     let states = table.count.load(Ordering::Relaxed);
@@ -640,5 +1097,133 @@ pub(crate) fn build<L: CostLens, P: Probe + ?Sized>(
         violations,
         dedup_hits,
         peak_frontier,
+        symmetric,
+    }
+}
+
+/// Folds an orbit-reduced graph's canonical-frame schedule back into
+/// original (replayable) coordinates.
+///
+/// Invariant maintained step by step: `μ` maps the *real* run's current
+/// configuration onto the canonical node the graph's parent chain is
+/// at — `canonical = μ(real)`. A recorded pick `q` therefore denotes
+/// the real process `μ⁻¹(q)`; after executing it, the graph moved to
+/// `canon(step(canonical, q))`, and by the automorphism property
+/// `step(canonical, q) = μ(step(real, μ⁻¹(q)))`, so recanonicalizing
+/// the μ-framed real successor recovers exactly the `σ` the build
+/// applied and the new frame is `σ∘μ`. For asymmetric graphs the walk
+/// degenerates to the identity and costs nothing.
+pub(crate) struct Decanon<'a> {
+    alg: &'a (dyn DynAutomaton + Sync),
+    snap: Snap,
+    mu: Perm,
+    active: bool,
+}
+
+impl<'a> Decanon<'a> {
+    pub(crate) fn new(alg: &'a (dyn DynAutomaton + Sync), symmetric: bool) -> Self {
+        let dref = DynRef(alg);
+        let snap = System::new(&dref).snapshot();
+        let mu = if symmetric {
+            canonicalize_snapshot(alg, &snap).1
+        } else {
+            Perm::identity(alg.processes())
+        };
+        Decanon {
+            alg,
+            snap,
+            mu,
+            active: symmetric,
+        }
+    }
+
+    /// The permutation currently mapping real coordinates onto the
+    /// canonical frame.
+    pub(crate) fn frame(&self) -> &Perm {
+        &self.mu
+    }
+
+    /// Executes the canonical-frame pick `(q, crashed)` on the real run
+    /// and returns the real pid it denotes.
+    pub(crate) fn advance(&mut self, q: ProcessId, crashed: bool) -> ProcessId {
+        if !self.active {
+            return q;
+        }
+        let p = ProcessId::new(self.mu.inverse().apply_index(q.index()));
+        let dref = DynRef(self.alg);
+        let mut sys = System::from_snapshot(&dref, &self.snap);
+        if crashed {
+            sys.crash(p);
+        } else {
+            sys.step(p);
+        }
+        self.snap = sys.snapshot();
+        let framed = permute_snapshot(self.alg, &self.snap, &self.mu);
+        let (_, sigma) = canonicalize_snapshot(self.alg, &framed);
+        self.mu = self.mu.then(&sigma);
+        p
+    }
+}
+
+/// [`Decanon`] over a whole `(pid, crashed)` pick sequence.
+pub(crate) fn decanonicalize_picks(
+    alg: &(dyn DynAutomaton + Sync),
+    symmetric: bool,
+    picks: &[(ProcessId, bool)],
+) -> Vec<(ProcessId, bool)> {
+    if !symmetric {
+        return picks.to_vec();
+    }
+    let mut walk = Decanon::new(alg, true);
+    picks
+        .iter()
+        .map(|&(q, crashed)| (walk.advance(q, crashed), crashed))
+        .collect()
+}
+
+/// [`Decanon`] over a crash-free pid schedule.
+pub(crate) fn decanonicalize_schedule(
+    alg: &(dyn DynAutomaton + Sync),
+    symmetric: bool,
+    schedule: &[ProcessId],
+) -> Vec<ProcessId> {
+    if !symmetric {
+        return schedule.to_vec();
+    }
+    let mut walk = Decanon::new(alg, true);
+    schedule.iter().map(|&q| walk.advance(q, false)).collect()
+}
+
+/// Real-coordinate form of an unbounded witness. The canonical cycle
+/// returns to the same canonical *node* but generally to a permuted
+/// real state, so it is unrolled until the frame permutation recurs —
+/// at which point the real configuration is exactly the one the prefix
+/// reached and the unrolled cycle pumps verbatim, each lap adding the
+/// same positive charge. The unroll factor is the order of the cycle's
+/// frame permutation, at most `lcm(1..=n)`.
+pub(crate) fn decanonicalize_unbounded(
+    alg: &(dyn DynAutomaton + Sync),
+    symmetric: bool,
+    prefix: &[ProcessId],
+    cycle: &[ProcessId],
+) -> (Vec<ProcessId>, Vec<ProcessId>) {
+    if !symmetric {
+        return (prefix.to_vec(), cycle.to_vec());
+    }
+    let mut walk = Decanon::new(alg, true);
+    let real_prefix: Vec<ProcessId> = prefix.iter().map(|&q| walk.advance(q, false)).collect();
+    let anchor = walk.frame().clone();
+    let mut real_cycle = Vec::new();
+    loop {
+        for &q in cycle {
+            real_cycle.push(walk.advance(q, false));
+        }
+        if *walk.frame() == anchor {
+            return (real_prefix, real_cycle);
+        }
+        assert!(
+            real_cycle.len() < cycle.len().saturating_mul(1 << 20),
+            "frame permutation failed to recur while unrolling a pump cycle"
+        );
     }
 }

@@ -30,7 +30,18 @@
 //! [`DynAutomaton`](exclusion_shmem::DynAutomaton) core, deduplicated
 //! in a sharded transposition table
 //! and fanned out across `thread::scope` workers pulling from a shared
-//! work-stealing frontier. For every exploration that is not truncated
+//! work-stealing frontier. For registry entries that declare themselves
+//! `symmetric`, states are stored as one representative per orbit of
+//! the process-permutation group (on by default;
+//! [`ExploreConfig::symmetry`]) — the quotient is a strong
+//! bisimulation, so every verdict, depth, witness length and exact
+//! cost is preserved, and witnesses are de-canonicalized back to real
+//! process ids before they are returned. Opt-in knobs trade elsewhere:
+//! [`ExploreConfig::por`] prunes commuting local interleavings but
+//! preserves only existence verdicts (it is forced off for worst-case
+//! searches), and [`ExploreConfig::compress`]/[`ExploreConfig::spill`]
+//! shrink the visited set to 128-bit fingerprints and spill frontier
+//! overflow to disk, flagged in the report as `fingerprinted`. For every exploration that is not truncated
 //! by `max_states`, the verdicts, state counts, depths and exact costs
 //! are independent of the worker count (the layer barrier makes BFS
 //! depths deterministic, and a violation halt still completes its
@@ -184,6 +195,32 @@ pub struct ExploreConfig {
     pub workers: usize,
     /// Step budget for the greedy-incumbent run of [`worst_case`].
     pub max_steps: usize,
+    /// Canonicalize snapshots modulo process permutation for
+    /// algorithms that declare themselves symmetric
+    /// ([`DynAutomaton::dyn_symmetric`](exclusion_shmem::DynAutomaton::dyn_symmetric)).
+    /// Sound for every verdict the
+    /// explorer produces (asymmetric algorithms silently keep
+    /// identity-only canonicalization); on by default.
+    pub symmetry: bool,
+    /// Ample-set partial-order reduction over provably commuting
+    /// `try`/`rem` section steps. Preserves safety and
+    /// completion-reachability verdicts but not minimal-length
+    /// counterexamples, and is ignored by [`worst_case`]/[`analyze`]
+    /// (pruning interleavings would change longest-path costs); off by
+    /// default.
+    pub por: bool,
+    /// Store 128-bit fingerprints instead of full snapshots in the
+    /// transposition table. Cuts table memory by an order of magnitude
+    /// for big runs; a report produced this way is certified only
+    /// modulo fingerprint collisions (probability ≈ `states²/2^129`)
+    /// and says so via [`ExploreReport::fingerprinted`]; off by
+    /// default.
+    pub compress: bool,
+    /// Spill each completed BFS frontier layer to a temporary disk
+    /// shard and stream it back during expansion, so peak RAM holds
+    /// one layer of snapshots instead of two. Only takes effect for
+    /// inline word-packed states; off by default.
+    pub spill: bool,
 }
 
 impl Default for ExploreConfig {
@@ -194,9 +231,67 @@ impl Default for ExploreConfig {
             max_depth: None,
             workers: 0,
             max_steps: 50_000_000,
+            symmetry: true,
+            por: false,
+            compress: false,
+            spill: false,
         }
     }
 }
+
+impl ExploreConfig {
+    /// The largest admissible `max_states`: node ids are 32-bit and
+    /// pack the shard id into their low bits, and the shard count
+    /// backs off no further than its floor of 16 shards, leaving
+    /// `u32::MAX >> 4` per-shard index headroom.
+    pub const MAX_STATES_LIMIT: usize = (u32::MAX as usize) >> 4;
+
+    /// Checks the bounds that would otherwise abort an exploration
+    /// mid-flight. Call this before starting a long run; the explorer
+    /// entry points also enforce it (by panicking with the same
+    /// message, since their signatures predate structured errors).
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::TooManyStates`] when `max_states` exceeds what
+    /// 32-bit shard-packed node ids can address.
+    pub fn validated(&self) -> Result<(), ExploreError> {
+        if self.max_states >= Self::MAX_STATES_LIMIT {
+            return Err(ExploreError::TooManyStates {
+                requested: self.max_states,
+                limit: Self::MAX_STATES_LIMIT - 1,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A structured refusal from the explorer, produced by
+/// [`ExploreConfig::validated`] before any work is wasted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExploreError {
+    /// `max_states` exceeds the addressable node-id space.
+    TooManyStates {
+        /// The `max_states` that was asked for.
+        requested: usize,
+        /// The largest value the 32-bit shard-packed ids can honor.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ExploreError::TooManyStates { requested, limit } => write!(
+                f,
+                "max_states {requested} exceeds the 32-bit node-id limit of {limit} \
+                 (ids pack a 16-shard floor into their low bits); lower --max-states"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
 
 /// Certifies safety/progress **and** computes the exact worst case in
 /// one call, sharing work where the two overlap: the SC model is
@@ -243,6 +338,11 @@ pub fn analyze_probed(
         // One graph serves both: build without the violation halt so
         // the worst-case search sees the complete bounded space. The
         // backward-reachability live set is shared the same way.
+        // Partial-order reduction is forced off: the shared graph also
+        // feeds the worst-case longest-path search, which quantifies
+        // over *every* interleaving (see `worst_with`). Orbit reduction
+        // stays on — the quotient preserves path costs both ways.
+        let cfg = &ExploreConfig { por: false, ..*cfg };
         let g = spanned(probe, SpanScope::Explore, alg.processes() as u32, |probe| {
             graph::build(alg, &graph::ScLens, cfg, false, probe)
         });
@@ -279,6 +379,8 @@ pub fn conformance_registry() -> AlgorithmRegistry {
             min_n: 2,
             uses_rmw: false,
             recoverable: false,
+            symmetric: false,
+            deadlock_free: true,
             cost_class: "unsafe".into(),
             params: vec![],
         },
@@ -447,7 +549,7 @@ mod tests {
     #[test]
     fn conformance_registry_adds_broken_without_touching_the_suite() {
         let reg = conformance_registry();
-        assert_eq!(reg.names().len(), 15);
+        assert_eq!(reg.names().len(), 17);
         assert!(reg.get("broken").is_some());
         assert!(reg.get("broken-recover").is_some(), "crash-planted twin");
         assert!(reg.get("racy-bool").is_some(), "alias resolves");

@@ -41,7 +41,8 @@ pub fn explore_json(r: &ExploreReport) -> String {
         out,
         "{{\"algorithm\":\"{}\",\"n\":{},\"passages\":{},\"states\":{},\"edges\":{},\
          \"depth\":{},\"truncated\":{},\"dedup_hits\":{},\"dedup_ratio\":{:.4},\
-         \"peak_frontier\":{},\"certified_safe\":{},\"certified_deadlock_free\":{},",
+         \"peak_frontier\":{},\"fingerprinted\":{},\"certified_safe\":{},\
+         \"certified_deadlock_free\":{},",
         esc(&r.algorithm),
         r.n,
         r.passages,
@@ -52,6 +53,7 @@ pub fn explore_json(r: &ExploreReport) -> String {
         r.dedup_hits,
         r.dedup_ratio(),
         r.peak_frontier,
+        r.fingerprinted,
         r.certified_safe(),
         r.certified_deadlock_free(),
     );

@@ -21,7 +21,7 @@ use exclusion_shmem::dynamic::{DynAutomaton, DynRef};
 use exclusion_shmem::probe::{NoProbe, Probe, SpanScope};
 use exclusion_shmem::{Execution, ProcessId, System};
 
-use crate::graph::{build, live_set, BuiltGraph, ScLens};
+use crate::graph::{build, decanonicalize_schedule, live_set, BuiltGraph, ScLens};
 use crate::ExploreConfig;
 
 /// A reachable mutual exclusion violation, with a replayable witness.
@@ -99,6 +99,11 @@ pub struct ExploreReport {
     /// explorer's peak working set, the capacity number BENCH_explore
     /// runs are sized by.
     pub peak_frontier: usize,
+    /// Whether the transposition table stored 128-bit fingerprints
+    /// instead of full snapshots ([`ExploreConfig::compress`]): the
+    /// verdicts then hold only modulo fingerprint collisions
+    /// (probability ≈ `states²/2^129`).
+    pub fingerprinted: bool,
     /// A minimal-depth mutual exclusion violation, if one is reachable.
     pub violation: Option<Counterexample>,
     /// A progress hazard, if one is reachable (only computed when the
@@ -202,6 +207,7 @@ pub(crate) fn report_from_graph(
         truncated: graph.truncated,
         dedup_hits: graph.dedup_hits,
         peak_frontier: graph.peak_frontier,
+        fingerprinted: cfg.compress,
         violation: None,
         hazard: None,
     };
@@ -218,7 +224,7 @@ pub(crate) fn report_from_graph(
                 &owned
             }
         };
-        report.hazard = find_hazard(graph, live);
+        report.hazard = find_hazard(alg, graph, live);
     }
     report
 }
@@ -238,6 +244,9 @@ fn pick_violation(alg: &(dyn DynAutomaton + Sync), graph: &BuiltGraph) -> Option
         .filter(|&&v| graph.nodes[v as usize].violating)
         .map(|&v| graph.schedule_to(v))
         .min_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)))?;
+    // An orbit-reduced graph records pids in canonical frames; fold the
+    // build's permutations back out so the schedule replays verbatim.
+    let schedule = decanonicalize_schedule(alg, graph.symmetric, &schedule);
     let dref = DynRef(alg);
     let mut sys = System::new(&dref);
     let mut trace = Execution::new();
@@ -261,7 +270,11 @@ fn pick_violation(alg: &(dyn DynAutomaton + Sync), graph: &BuiltGraph) -> Option
 /// completion is *doomed*. The witness schedule leads to a stuck state
 /// when one exists (deadlock), otherwise to the shallowest doomed
 /// state (livelock).
-fn find_hazard(graph: &BuiltGraph, live: &[bool]) -> Option<Hazard> {
+fn find_hazard(
+    alg: &(dyn DynAutomaton + Sync),
+    graph: &BuiltGraph,
+    live: &[bool],
+) -> Option<Hazard> {
     let nodes = &graph.nodes;
     let doomed_states = live.iter().filter(|&&l| !l).count();
     if doomed_states == 0 {
@@ -285,7 +298,7 @@ fn find_hazard(graph: &BuiltGraph, live: &[bool]) -> Option<Hazard> {
     };
     Some(Hazard {
         kind,
-        schedule: graph.schedule_to(target as u32),
+        schedule: decanonicalize_schedule(alg, graph.symmetric, &graph.schedule_to(target as u32)),
         doomed_states,
     })
 }

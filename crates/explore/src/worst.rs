@@ -46,7 +46,10 @@ use exclusion_shmem::probe::{NoProbe, Probe, SpanScope, TraceEvent};
 use exclusion_shmem::sched::GreedyAdversary;
 use exclusion_shmem::{ProcessId, System};
 
-use crate::graph::{build, live_set, BuiltGraph, CcLens, CostLens, DsmLens, ScLens};
+use crate::graph::{
+    build, decanonicalize_schedule, decanonicalize_unbounded, live_set, BuiltGraph, CcLens,
+    CostLens, DsmLens, ScLens,
+};
 use crate::{ExploreConfig, Model};
 
 /// The exact worst-case verdict of one (algorithm, model, bounds)
@@ -170,8 +173,13 @@ fn worst_with<L: CostLens>(
     cfg: &ExploreConfig,
     probe: &mut dyn Probe,
 ) -> WorstCaseReport {
-    let graph = build(alg, lens, cfg, false, probe);
-    worst_from_graph(alg, &graph, model, cfg, None, probe)
+    // Longest-path costs quantify over *every* interleaving, so
+    // partial-order reduction (which prunes interleavings) is forced
+    // off here. Orbit reduction stays on: the quotient graph preserves
+    // path costs in both directions, so the supremum is unchanged.
+    let cfg = ExploreConfig { por: false, ..*cfg };
+    let graph = build(alg, lens, &cfg, false, probe);
+    worst_from_graph(alg, &graph, model, &cfg, None, probe)
 }
 
 /// The exact search on an already-built (product) graph — shared by
@@ -219,10 +227,17 @@ pub(crate) fn worst_from_graph(
                 scc: scc.members[scc.comp[u as usize]].len(),
             });
         }
-        report.cost = WorstCost::Unbounded {
-            prefix: graph.schedule_to(u),
-            cycle: pump_cycle(graph, &scc, u, p, v),
-        };
+        // Orbit-reduced graphs record canonical-frame pids, and their
+        // pump cycle returns to the canonical node but to a *permuted*
+        // real state — the de-canonicalization unrolls it until the
+        // real state recurs, so the witness pumps verbatim.
+        let (prefix, cycle) = decanonicalize_unbounded(
+            alg,
+            graph.symmetric,
+            &graph.schedule_to(u),
+            &pump_cycle(graph, &scc, u, p, v),
+        );
+        report.cost = WorstCost::Unbounded { prefix, cycle };
         return report;
     }
 
@@ -257,7 +272,12 @@ pub(crate) fn worst_from_graph(
         // optimum undefined.
         return report;
     }
-    let schedule = witness(graph, &scc, &value, total);
+    // Orbit reduction preserves path costs in both directions, so the
+    // DP optimum over the quotient graph equals the real optimum — but
+    // the witness pids live in canonical frames; fold the build's
+    // permutations back out so the replay below prices the real run.
+    let schedule =
+        decanonicalize_schedule(alg, graph.symmetric, &witness(graph, &scc, &value, total));
     let replayed = price_schedule(alg, model, &schedule);
     assert_eq!(
         replayed as i64, total,

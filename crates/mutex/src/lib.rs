@@ -12,6 +12,7 @@
 //! | [`BurnsLynch`] | Θ(n²) | one shared bit per process (space-optimal) |
 //! | [`Bakery`] | Θ(n²) | Lamport's first-come-first-served lock |
 //! | [`Filter`] | Θ(n³) | level-based generalization of Peterson |
+//! | [`Splitter`] | unbounded | two registers total; fully symmetric under process permutation (the orbit-reduction showcase) |
 //!
 //! The [`rmw`] module adds locks built on read-modify-write primitives
 //! (TAS, TTAS, ticket, CLH, MCS) — outside the paper's register-only
@@ -60,6 +61,7 @@ pub mod peterson;
 pub mod recover;
 pub mod registry;
 pub mod rmw;
+pub mod splitter;
 pub mod stale_tournament;
 pub mod suite;
 pub mod tree;
@@ -75,4 +77,5 @@ pub use registry::{
     AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry, DynAlgorithm, ResolvedAlgorithm,
 };
 pub use rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
+pub use splitter::Splitter;
 pub use suite::{AnyAlgorithm, AnyState};

@@ -34,6 +34,8 @@
 //!         min_n: 1,
 //!         uses_rmw: false,
 //!         recoverable: false,
+//!         symmetric: false,
+//!         deadlock_free: true,
 //!         cost_class: "Θ(n) handoff".into(),
 //!         params: vec![],
 //!     },
@@ -49,13 +51,13 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use exclusion_shmem::dynamic::DynAutomaton;
+use exclusion_shmem::dynamic::{DynAutomaton, Packed};
 use exclusion_shmem::spec::{suggest, ParamInfo, Spec, SpecError};
 
 use crate::rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
 use crate::{
     Bakery, BrokenRecover, BurnsLynch, DekkerTournament, Dijkstra, Filter, Peterson, RPeterson,
-    RTas,
+    RTas, Splitter,
 };
 
 /// A shared, thread-safe erased algorithm handle — what the registry
@@ -86,6 +88,23 @@ pub struct AlgorithmInfo {
     /// crate's crash-aware certification is what validates it — and
     /// what catches the planted `broken-recover` lock lying here.
     pub recoverable: bool,
+    /// Whether the automaton declares full process-permutation symmetry
+    /// (see [`exclusion_shmem::Automaton::symmetric`]): relabelling
+    /// processes is a transition-graph automorphism, so explorers may
+    /// soundly quotient the state space by the orbit relation. Entries
+    /// that leave this `false` — id-ordered scanners, fixed
+    /// tournaments, pid-indexed queue locks — get identity-only
+    /// canonicalization and their verdicts are unaffected. Mirrors the
+    /// automaton's own flag; a registry test pins the two together.
+    pub symmetric: bool,
+    /// Whether the lock guarantees progress: from every reachable
+    /// state some schedule completes the bounded passage target, so
+    /// exhaustive exploration is expected to certify deadlock-freedom.
+    /// The splitter locks deliberately leave this `false` — a splitter
+    /// admits at most one process and can send *every* contender down
+    /// the losing branch, a livelock the explorer must find and report
+    /// (conformance pins that the hazard is present, not absent).
+    pub deadlock_free: bool,
     /// Asymptotic canonical SC cost, as a display string (`"Θ(n log n)"`).
     pub cost_class: String,
     /// Parameters the entry accepts in `name:key=value,…` specs.
@@ -144,6 +163,9 @@ pub struct ResolvedAlgorithm {
     /// Whether the algorithm claims crash-recoverability
     /// (see [`AlgorithmInfo::recoverable`]).
     pub recoverable: bool,
+    /// Whether the lock is expected to certify deadlock-freedom
+    /// (see [`AlgorithmInfo::deadlock_free`]).
+    pub deadlock_free: bool,
     /// The erased automaton, configured for the resolved `n`.
     pub automaton: DynAlgorithm,
 }
@@ -177,8 +199,9 @@ impl AlgorithmRegistry {
     }
 
     /// The built-in suite: the six register-only algorithms of the
-    /// paper's model, the five RMW-based locks (in the stable report
-    /// order `AnyAlgorithm::full_suite` uses), and the three
+    /// paper's model plus the two symmetric splitter locks, the five
+    /// RMW-based locks (in the stable report order
+    /// `AnyAlgorithm::full_suite` uses), and the three
     /// crash-recoverable locks of [`crate::recover`] — including the
     /// deliberately planted `broken-recover`.
     #[must_use]
@@ -193,6 +216,21 @@ impl AlgorithmRegistry {
         where
             A: DynAutomaton + Send + Sync + 'static,
         {
+            plain_with(name, summary, cost_class, uses_rmw, false, true, ctor)
+        }
+
+        fn plain_with<A>(
+            name: &str,
+            summary: &str,
+            cost_class: &str,
+            uses_rmw: bool,
+            symmetric: bool,
+            deadlock_free: bool,
+            ctor: fn(usize) -> A,
+        ) -> AlgorithmEntry
+        where
+            A: DynAutomaton + Send + Sync + 'static,
+        {
             AlgorithmEntry::new(
                 AlgorithmInfo {
                     name: name.into(),
@@ -201,6 +239,8 @@ impl AlgorithmRegistry {
                     min_n: 1,
                     uses_rmw,
                     recoverable: false,
+                    symmetric,
+                    deadlock_free,
                     cost_class: cost_class.into(),
                     params: vec![],
                 },
@@ -229,6 +269,8 @@ impl AlgorithmRegistry {
                     min_n: 1,
                     uses_rmw,
                     recoverable: true,
+                    symmetric: false,
+                    deadlock_free: true,
                     cost_class: cost_class.into(),
                     params: vec![],
                 },
@@ -269,6 +311,8 @@ impl AlgorithmRegistry {
                 min_n: 1,
                 uses_rmw: false,
                 recoverable: false,
+                symmetric: false,
+                deadlock_free: true,
                 cost_class: "Θ(n³)".into(),
                 params: vec![ParamInfo {
                     key: "levels",
@@ -303,12 +347,32 @@ impl AlgorithmRegistry {
             false,
             BurnsLynch::new,
         ));
-        reg.register(plain(
+        reg.register(plain_with(
+            "splitter",
+            "symmetric two-register splitter lock, busy gate polling",
+            "unbounded",
+            false,
+            true,
+            false,
+            |n| Packed(Splitter::new(n)),
+        ));
+        reg.register(plain_with(
+            "splitter-gate",
+            "symmetric two-register splitter lock, polite gate spin",
+            "unbounded",
+            false,
+            true,
+            false,
+            |n| Packed(Splitter::gated(n)),
+        ));
+        reg.register(plain_with(
             "tas-sim",
             "test-and-set spin lock (simulated)",
             "rmw",
             true,
-            TasSim::new,
+            true,
+            true,
+            |n| Packed(TasSim::new(n)),
         ));
         reg.register(AlgorithmEntry::new(
             AlgorithmInfo {
@@ -318,6 +382,8 @@ impl AlgorithmRegistry {
                 min_n: 1,
                 uses_rmw: true,
                 recoverable: false,
+                symmetric: true,
+                deadlock_free: true,
                 cost_class: "rmw".into(),
                 params: vec![ParamInfo {
                     key: "backoff",
@@ -327,15 +393,17 @@ impl AlgorithmRegistry {
             |spec, n| {
                 spec.expect_params(&["backoff"], false)?;
                 let backoff = spec.usize_param("backoff", 0)?;
-                Ok(Arc::new(TtasSim::with_backoff(n, backoff)))
+                Ok(Arc::new(Packed(TtasSim::with_backoff(n, backoff))))
             },
         ));
-        reg.register(plain(
+        reg.register(plain_with(
             "ticket-sim",
             "FIFO ticket lock (simulated)",
             "rmw",
             true,
-            TicketSim::new,
+            true,
+            true,
+            |n| Packed(TicketSim::new(n)),
         ));
         reg.register(plain(
             "clh-sim",
@@ -478,6 +546,7 @@ impl AlgorithmRegistry {
             label: canonical.label(),
             uses_rmw: entry.info.uses_rmw,
             recoverable: entry.info.recoverable,
+            deadlock_free: entry.info.deadlock_free,
             automaton,
         })
     }
@@ -510,6 +579,8 @@ mod tests {
                 "filter",
                 "dijkstra",
                 "burns-lynch",
+                "splitter",
+                "splitter-gate",
                 "tas-sim",
                 "ttas-sim",
                 "ticket-sim",
@@ -522,6 +593,27 @@ mod tests {
         );
         assert_eq!(reg.entries().filter(|e| e.info().uses_rmw).count(), 7);
         assert_eq!(reg.entries().filter(|e| e.info().recoverable).count(), 3);
+        assert_eq!(reg.entries().filter(|e| e.info().symmetric).count(), 5);
+    }
+
+    #[test]
+    fn symmetric_flags_match_the_automata() {
+        // The metadata flag must mirror what the constructed automaton
+        // actually declares — explorers trust `dyn_symmetric()`, and a
+        // mismatch would make listings lie about reducibility.
+        let reg = AlgorithmRegistry::global();
+        for entry in reg.entries() {
+            let n = entry.info().min_n.max(3);
+            let r = reg
+                .resolve_str(&entry.info().name, n)
+                .expect("standard entries resolve");
+            assert_eq!(
+                r.automaton.dyn_symmetric(),
+                entry.info().symmetric,
+                "{}: registry flag disagrees with the automaton",
+                entry.info().name
+            );
+        }
     }
 
     #[test]
@@ -567,7 +659,7 @@ mod tests {
         else {
             panic!("{err}")
         };
-        assert_eq!(known.len(), 14);
+        assert_eq!(known.len(), 16);
         assert_eq!(suggestion.as_deref(), Some("peterson"));
     }
 
@@ -593,6 +685,8 @@ mod tests {
                 min_n: 1,
                 uses_rmw: false,
                 recoverable: false,
+                symmetric: false,
+                deadlock_free: true,
                 cost_class: "test".into(),
                 params: vec![],
             },
@@ -601,7 +695,7 @@ mod tests {
         assert_eq!(reg.resolve_str("ttas-sim", 3).unwrap().label, "ttas-sim");
         let r = reg.resolve_str("ttas", 3).unwrap();
         assert_eq!(r.automaton.name(), "peterson", "spelling reassigned");
-        assert_eq!(reg.names().len(), 15, "appended, not replaced");
+        assert_eq!(reg.names().len(), 17, "appended, not replaced");
     }
 
     #[test]
@@ -615,6 +709,8 @@ mod tests {
                 min_n: 2,
                 uses_rmw: false,
                 recoverable: false,
+                symmetric: false,
+                deadlock_free: true,
                 cost_class: "test".into(),
                 params: vec![],
             },
@@ -640,6 +736,8 @@ mod tests {
                 min_n: 1,
                 uses_rmw: false,
                 recoverable: false,
+                symmetric: false,
+                deadlock_free: true,
                 cost_class: "test".into(),
                 params: vec![],
             },

@@ -12,6 +12,7 @@
 //!
 //! [`ConstructError::UnsupportedStep`]: ../exclusion_lb/enum.ConstructError.html
 
+use exclusion_shmem::dynamic::WordState;
 use exclusion_shmem::{
     Automaton, CritKind, NextStep, Observation, ProcessId, RegisterId, RmwOp, Value,
 };
@@ -40,6 +41,41 @@ pub struct RmwState {
 impl RmwState {
     fn at(phase: Phase, aux: Value) -> Self {
         RmwState { phase, aux }
+    }
+}
+
+impl WordState for RmwState {
+    const WORDS: usize = 2;
+
+    fn pack(&self, out: &mut [u64]) {
+        // Injective phase encoding: low byte is the variant tag, the
+        // next byte carries the Entry/Exit payload.
+        out[0] = match self.phase {
+            Phase::Remainder => 0,
+            Phase::Entry(k) => 1 | (u64::from(k) << 8),
+            Phase::Entering => 2,
+            Phase::Critical => 3,
+            Phase::Exit(k) => 4 | (u64::from(k) << 8),
+            Phase::Resting => 5,
+        };
+        out[1] = self.aux;
+    }
+
+    fn unpack(words: &[u64]) -> Self {
+        let payload = (words[0] >> 8) as u8;
+        let phase = match words[0] & 0xFF {
+            0 => Phase::Remainder,
+            1 => Phase::Entry(payload),
+            2 => Phase::Entering,
+            3 => Phase::Critical,
+            4 => Phase::Exit(payload),
+            5 => Phase::Resting,
+            w => unreachable!("invalid rmw phase word {w}"),
+        };
+        RmwState {
+            phase,
+            aux: words[1],
+        }
     }
 }
 
@@ -125,6 +161,12 @@ impl Automaton for TasSim {
 
     fn name(&self) -> String {
         "tas-sim".to_string()
+    }
+
+    // States and register values are pid-free, so relabelling processes
+    // is an automorphism with the default (identity) permutation hooks.
+    fn symmetric(&self) -> bool {
+        true
     }
 }
 
@@ -226,6 +268,11 @@ impl Automaton for TtasSim {
     fn name(&self) -> String {
         "ttas-sim".to_string()
     }
+
+    // Pid-free states and register values: see `TasSim::symmetric`.
+    fn symmetric(&self) -> bool {
+        true
+    }
 }
 
 /// Ticket lock: `fetch_add` draws a ticket; the holder bumps
@@ -294,6 +341,12 @@ impl Automaton for TicketSim {
 
     fn name(&self) -> String {
         "ticket-sim".to_string()
+    }
+
+    // Tickets are draw numbers, not pids: states and register values
+    // are pid-free, so the default permutation hooks suffice.
+    fn symmetric(&self) -> bool {
+        true
     }
 }
 
@@ -619,6 +672,24 @@ mod tests {
     fn pack_unpack_roundtrip() {
         for (hi, lo) in [(0u64, 0u64), (3, 7), (1 << 20, 1 << 30)] {
             assert_eq!(unpack(pack(hi, lo)), (hi, lo));
+        }
+    }
+
+    #[test]
+    fn rmw_state_words_round_trip() {
+        let states = [
+            RmwState::at(Phase::Remainder, 0),
+            RmwState::at(Phase::Entry(0), 7),
+            RmwState::at(Phase::Entry(4), u64::MAX),
+            RmwState::at(Phase::Entering, 1),
+            RmwState::at(Phase::Critical, 2),
+            RmwState::at(Phase::Exit(3), 9),
+            RmwState::at(Phase::Resting, 0),
+        ];
+        for s in states {
+            let mut w = [0u64; 2];
+            s.pack(&mut w);
+            assert_eq!(RmwState::unpack(&w), s);
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::ids::{ProcessId, RegisterId, Value};
 use crate::step::CritKind;
+use crate::symmetry::Perm;
 
 /// A read-modify-write operation on a register, performed atomically.
 ///
@@ -237,6 +238,79 @@ pub trait Automaton {
             .unwrap_or("automaton")
             .to_string()
     }
+
+    /// Declares that this algorithm is **fully symmetric** under
+    /// process permutation, enabling orbit canonicalization in the
+    /// explorer. Defaults to `false` (identity-only canonicalization,
+    /// always sound).
+    ///
+    /// # Contract
+    ///
+    /// Returning `true` asserts that for *every* permutation π of the
+    /// process indices, relabelling a system configuration — moving
+    /// process `i`'s state, section, and passage count to slot `π(i)`
+    /// and rewriting each register value via
+    /// [`permute_register_value`](Automaton::permute_register_value) —
+    /// is an automorphism of the transition system: process `i`'s step
+    /// from the original configuration corresponds exactly to process
+    /// `π(i)`'s step from the relabelled one. Concretely this requires:
+    ///
+    /// * [`initial_state`](Automaton::initial_state) and
+    ///   [`recover_state`](Automaton::recover_state) do not depend on
+    ///   the process id (or depend on it only through content that
+    ///   [`permute_state`](Automaton::permute_state) rewrites);
+    /// * [`next_step`](Automaton::next_step) and
+    ///   [`observe`](Automaton::observe) use their `pid` argument
+    ///   *covariantly* only — writing the process's own id into
+    ///   registers and comparing read values against it are fine;
+    ///   numeric comparisons between ids, id-indexed register banks,
+    ///   and id-ordered scans are not;
+    /// * register indices are global (the same register means the same
+    ///   thing to every process) and every way a register value can
+    ///   encode a process id is declared via
+    ///   [`pid_in_value`](Automaton::pid_in_value).
+    ///
+    /// Ordered scans (`filter`, `dijkstra`, `bakery`'s id tie-break)
+    /// and fixed tournament wirings (`peterson`, `dekker-tree`) break
+    /// this contract and must keep the default.
+    fn symmetric(&self) -> bool {
+        false
+    }
+
+    /// Relabels any process ids *inside* a local state under `perm`.
+    /// The default clones unchanged — correct whenever states never
+    /// store process ids (the common case for symmetric algorithms).
+    ///
+    /// Only meaningful when [`symmetric`](Automaton::symmetric) is
+    /// `true`; must be a bijection satisfying
+    /// `permute_state(permute_state(s, π), π⁻¹) == s`.
+    fn permute_state(&self, state: &Self::State, perm: &Perm) -> Self::State {
+        let _ = perm;
+        state.clone()
+    }
+
+    /// Rewrites a register value under `perm`, relabelling any process
+    /// id the value encodes. The default returns the value unchanged —
+    /// correct whenever register values never encode process ids.
+    ///
+    /// Only meaningful when [`symmetric`](Automaton::symmetric) is
+    /// `true`; must agree with [`pid_in_value`](Automaton::pid_in_value):
+    /// if `pid_in_value(reg, v) == Some(p)` then
+    /// `pid_in_value(reg, permute_register_value(reg, v, π)) == Some(π(p))`.
+    fn permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        let _ = (reg, perm);
+        value
+    }
+
+    /// Which process id (if any) the value currently held by `reg`
+    /// encodes. Drives the canonical tie-break: processes whose local
+    /// data is identical are ordered by the first register mentioning
+    /// them. The default, `None`, is correct whenever register values
+    /// never encode process ids.
+    fn pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        let _ = (reg, value);
+        None
+    }
 }
 
 impl<A: Automaton + ?Sized> Automaton for &A {
@@ -277,6 +351,18 @@ impl<A: Automaton + ?Sized> Automaton for &A {
     }
     fn name(&self) -> String {
         (**self).name()
+    }
+    fn symmetric(&self) -> bool {
+        (**self).symmetric()
+    }
+    fn permute_state(&self, state: &Self::State, perm: &Perm) -> Self::State {
+        (**self).permute_state(state, perm)
+    }
+    fn permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        (**self).permute_register_value(reg, value, perm)
+    }
+    fn pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        (**self).pid_in_value(reg, value)
     }
 }
 

@@ -68,6 +68,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::automaton::{Automaton, NextStep, Observation};
 use crate::ids::{ProcessId, RegisterId, Value};
+use crate::symmetry::Perm;
 
 /// Words of inline storage in a [`DynState`]. States that pack into at
 /// most this many `u64`s avoid the boxed spill path entirely.
@@ -213,6 +214,31 @@ impl DynState {
     {
         DynState {
             repr: Repr::Boxed(Box::new(state)),
+        }
+    }
+
+    /// Rebuilds an inline state from words previously observed through
+    /// [`words`](DynState::words) — the round-trip explorers use to
+    /// persist inline states (spilled frontier layers) without knowing
+    /// the typed `WordState` behind them. Equality is word-for-word, so
+    /// the reconstruction compares equal to the original.
+    ///
+    /// # Panics
+    ///
+    /// When `words` exceeds [`INLINE_WORDS`].
+    #[must_use]
+    pub fn from_raw_words(words: &[u64]) -> Self {
+        assert!(
+            words.len() <= INLINE_WORDS,
+            "state too wide for inline words"
+        );
+        let mut buf = [0u64; INLINE_WORDS];
+        buf[..words.len()].copy_from_slice(words);
+        DynState {
+            repr: Repr::Inline {
+                len: words.len() as u8,
+                words: buf,
+            },
         }
     }
 
@@ -369,6 +395,34 @@ pub trait DynAutomaton {
 
     /// A short name for the algorithm, used in reports and tables.
     fn name(&self) -> String;
+
+    /// Whether the algorithm declares full process-permutation
+    /// symmetry — mirrors [`Automaton::symmetric`] and carries the
+    /// same contract. Defaults to `false` (always sound).
+    fn dyn_symmetric(&self) -> bool {
+        false
+    }
+
+    /// Relabels process ids inside an erased state under `perm` —
+    /// mirrors [`Automaton::permute_state`]. The default clones.
+    fn dyn_permute_state(&self, state: &DynState, perm: &Perm) -> DynState {
+        let _ = perm;
+        state.clone()
+    }
+
+    /// Rewrites a register value under `perm` — mirrors
+    /// [`Automaton::permute_register_value`]. The default is identity.
+    fn dyn_permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        let _ = (reg, perm);
+        value
+    }
+
+    /// Which process id the value held by `reg` encodes — mirrors
+    /// [`Automaton::pid_in_value`]. The default is `None`.
+    fn dyn_pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        let _ = (reg, value);
+        None
+    }
 }
 
 fn expect_typed<S: 'static>(state: &DynState) -> &S {
@@ -421,6 +475,18 @@ where
     }
     fn name(&self) -> String {
         Automaton::name(self)
+    }
+    fn dyn_symmetric(&self) -> bool {
+        Automaton::symmetric(self)
+    }
+    fn dyn_permute_state(&self, state: &DynState, perm: &Perm) -> DynState {
+        DynState::boxed(self.permute_state(expect_typed::<A::State>(state), perm))
+    }
+    fn dyn_permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        Automaton::permute_register_value(self, reg, value, perm)
+    }
+    fn dyn_pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        Automaton::pid_in_value(self, reg, value)
     }
 }
 
@@ -495,6 +561,21 @@ where
     fn name(&self) -> String {
         self.0.name()
     }
+    fn dyn_symmetric(&self) -> bool {
+        self.0.symmetric()
+    }
+    fn dyn_permute_state(&self, state: &DynState, perm: &Perm) -> DynState {
+        let s = state
+            .to_words::<A::State>()
+            .expect("state does not belong to this automaton");
+        DynState::from_words(&self.0.permute_state(&s, perm))
+    }
+    fn dyn_permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        self.0.permute_register_value(reg, value, perm)
+    }
+    fn dyn_pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        self.0.pid_in_value(reg, value)
+    }
 }
 
 /// The bridge back from the erased world: wraps a `&dyn DynAutomaton`
@@ -556,6 +637,18 @@ impl Automaton for DynRef<'_> {
     }
     fn name(&self) -> String {
         self.0.name()
+    }
+    fn symmetric(&self) -> bool {
+        self.0.dyn_symmetric()
+    }
+    fn permute_state(&self, state: &DynState, perm: &Perm) -> DynState {
+        self.0.dyn_permute_state(state, perm)
+    }
+    fn permute_register_value(&self, reg: RegisterId, value: Value, perm: &Perm) -> Value {
+        self.0.dyn_permute_register_value(reg, value, perm)
+    }
+    fn pid_in_value(&self, reg: RegisterId, value: Value) -> Option<ProcessId> {
+        self.0.dyn_pid_in_value(reg, value)
     }
 }
 

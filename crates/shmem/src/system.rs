@@ -93,6 +93,27 @@ pub struct Snapshot<S> {
 }
 
 impl<S> Snapshot<S> {
+    /// Assembles a snapshot from raw components. Callers that build
+    /// snapshots that did not come from a live [`System`] — the
+    /// symmetry canonicalizer, the explorer's spilled-frontier decoder
+    /// — must preserve the invariant that all per-process vectors share
+    /// one length (debug-asserted here).
+    pub fn from_parts(
+        states: Vec<S>,
+        regs: Vec<Value>,
+        sections: Vec<Section>,
+        passages: Vec<usize>,
+    ) -> Snapshot<S> {
+        debug_assert_eq!(states.len(), sections.len());
+        debug_assert_eq!(states.len(), passages.len());
+        Snapshot {
+            states,
+            regs,
+            sections,
+            passages,
+        }
+    }
+
     /// Per-process states, indexed by process.
     #[must_use]
     pub fn states(&self) -> &[S] {

@@ -15,15 +15,19 @@ const SCOPES: usize = SpanScope::ALL.len();
 /// A fixed-memory power-of-two histogram: bucket 0 counts zeros,
 /// bucket `b ≥ 1` counts values in `[2^(b-1), 2^b)`. 64 buckets cover
 /// the full `u64` range, so observing never saturates or allocates.
+/// Each bucket also remembers the largest value it has seen, so
+/// quantile answers never exceed an actually-observed value.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Hist {
     buckets: [u64; BUCKETS],
+    maxima: [u64; BUCKETS],
 }
 
 impl Default for Hist {
     fn default() -> Self {
         Hist {
             buckets: [0; BUCKETS],
+            maxima: [0; BUCKETS],
         }
     }
 }
@@ -37,7 +41,9 @@ impl Hist {
 
     /// Counts one observation of `v`.
     pub fn observe(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
+        let b = Self::bucket_of(v);
+        self.buckets[b] += 1;
+        self.maxima[b] = self.maxima[b].max(v);
     }
 
     /// Total observations.
@@ -58,18 +64,24 @@ impl Hist {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
+        for (a, b) in self.maxima.iter_mut().zip(other.maxima.iter()) {
+            *a = (*a).max(*b);
+        }
     }
 
     /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the observed values at
     /// the histogram's power-of-two resolution: nearest-rank selection
-    /// over the buckets, returning the **inclusive upper edge** of the
-    /// bucket holding that rank (`0` for the zero bucket, `2^b − 1`
-    /// for bucket `b`).
+    /// over the buckets, returning the **largest value observed** in
+    /// the bucket holding that rank.
     ///
-    /// The upper edge makes the estimate conservative for latency-style
-    /// reporting, with a guaranteed bracket: for a positive exact
-    /// quantile `x` below the saturated top bucket (`x < 2^62`),
-    /// `x ≤ quantile(q) < 2·x`; for an all-zero distribution the
+    /// The bucket maximum makes the estimate conservative for
+    /// latency-style reporting while never exceeding an
+    /// actually-observed value, with a guaranteed bracket: for a
+    /// positive exact quantile `x`, `x ≤ quantile(q) ≤ max observed`,
+    /// and below the saturated top bucket additionally
+    /// `quantile(q) < 2·x`. In particular a single sample in the top
+    /// bucket no longer saturates the answer to `u64::MAX` — it
+    /// reports the sample itself. For an all-zero distribution the
     /// result is exactly `0`. An empty histogram yields `0`. `q`
     /// outside `[0, 1]` is clamped.
     #[must_use]
@@ -85,11 +97,7 @@ impl Hist {
         for (b, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return match b {
-                    0 => 0,
-                    _ if b == BUCKETS - 1 => u64::MAX,
-                    _ => (1u64 << b) - 1,
-                };
+                return self.maxima[b];
             }
         }
         unreachable!("rank ≤ total, so some bucket holds it")
@@ -494,6 +502,39 @@ mod tests {
         let mut h = Hist::default();
         h.observe(u64::MAX);
         assert_eq!(h.quantile(0.5), u64::MAX);
+    }
+
+    /// Regression: a sample in the saturated top bucket must report
+    /// the observed value, not `u64::MAX` — a single huge outlier used
+    /// to poison the p99 column of `serve` reports.
+    #[test]
+    fn top_bucket_quantiles_clamp_to_the_observed_max() {
+        // Two-point distribution with the heavy tail in the top bucket.
+        let big = 1u64 << 63; // bucket 63, far below u64::MAX
+        let mut h = Hist::default();
+        for _ in 0..95 {
+            h.observe(1);
+        }
+        for _ in 0..5 {
+            h.observe(big);
+        }
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), big, "p99 must be the observed max");
+        assert_eq!(h.quantile(1.0), big);
+        // Two-point mass inside one non-top bucket: the answer is the
+        // bucket's own observed max, never its synthetic upper edge.
+        let mut h = Hist::default();
+        h.observe(130);
+        h.observe(140); // both in [128, 256)
+        assert_eq!(h.quantile(0.5), 140);
+        assert_eq!(h.quantile(1.0), 140);
+        // Merging keeps per-bucket maxima: max wins, bucket-wise.
+        let mut a = Hist::default();
+        a.observe(big);
+        let mut b = Hist::default();
+        b.observe(big + 17);
+        a.merge(&b);
+        assert_eq!(a.quantile(1.0), big + 17);
     }
 
     #[test]

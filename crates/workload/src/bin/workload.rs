@@ -306,6 +306,17 @@ OPTIONS:
     --max-states S       transposition-table cap (default: 2000000)
     --workers W          worker threads, 0 = one per core (default: 0)
     --no-worst           skip the exact worst-case search (verdicts only)
+    --no-symmetry        disable orbit reduction (explore the raw state
+                         space even for symmetric algorithms)
+    --por                enable ample-set partial-order reduction for
+                         the certification pass (verdict-preserving;
+                         the worst-case search always runs without it,
+                         and witness depths may exceed the minimum)
+    --compress           store 128-bit fingerprints instead of full
+                         snapshots in the transposition table (verdicts
+                         then hold modulo fingerprint collisions)
+    --spill              stream BFS frontiers through an unlinked temp
+                         file instead of holding them in memory
     --json PATH          write the JSON report (`-` for stdout)
     --quiet              suppress the text table
     --help               this text
@@ -362,6 +373,10 @@ fn parse_explore_args(argv: &[String]) -> Result<Option<ExploreArgs>, String> {
                 args.cfg.workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?;
             }
             "--no-worst" => args.no_worst = true,
+            "--no-symmetry" => args.cfg.symmetry = false,
+            "--por" => args.cfg.por = true,
+            "--compress" => args.cfg.compress = true,
+            "--spill" => args.cfg.spill = true,
             "--json" => args.json = Some(value()?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
@@ -379,11 +394,11 @@ fn parse_explore_args(argv: &[String]) -> Result<Option<ExploreArgs>, String> {
     if args.n == 0 || args.n > 64 {
         return Err("--n must be between 1 and 64 (the explorer's process cap)".into());
     }
-    if args.cfg.max_states >= u32::MAX as usize >> 4 {
-        return Err(format!(
-            "--max-states is capped at {} (32-bit node-id budget)",
-            (u32::MAX >> 4) - 1
-        ));
+    // Single source of truth for the node-id budget: the explorer's
+    // own structured validation, surfaced as a flag error with the
+    // actual limit spelled out instead of an assert mid-run.
+    if let Err(e) = args.cfg.validated() {
+        return Err(e.to_string());
     }
     Ok(Some(args))
 }
@@ -445,18 +460,42 @@ fn run_explore(argv: &[String]) -> Result<(), String> {
         } else if let Some(h) = &report.hazard {
             format!("{} ({} doomed states)", h.kind, h.doomed_states)
         } else if report.truncated {
-            "truncated".into()
+            format!(
+                "truncated at {} states, not certified — raise --max-states",
+                report.states
+            )
         } else {
             String::new()
         };
-        // `broken` must be caught; everything else must certify.
+        // `broken` must be caught; everything else must certify what
+        // its registry metadata promises: mutual exclusion always, and
+        // deadlock-freedom unless the entry disclaims it (the splitter
+        // locks), in which case the hazard must be *found* — a certified
+        // negative, not a free pass. A truncated run proves nothing
+        // either way, so it always fails with the explicit diagnostic
+        // rather than a clean pass.
         let caught = report.violation.is_some();
         if resolved.label == "broken" {
             if !caught {
-                failures.push(format!("{}: planted race NOT caught", resolved.label));
+                if report.truncated {
+                    failures.push(format!("{}: {note}", resolved.label));
+                } else {
+                    failures.push(format!("{}: planted race NOT caught", resolved.label));
+                }
             }
-        } else if !report.certified_deadlock_free() {
-            failures.push(format!("{}: not certified ({note})", resolved.label));
+        } else if report.truncated {
+            failures.push(format!("{}: {note}", resolved.label));
+        } else if resolved.deadlock_free {
+            if !report.certified_deadlock_free() {
+                failures.push(format!("{}: not certified ({note})", resolved.label));
+            }
+        } else if !report.certified_safe() {
+            failures.push(format!("{}: not certified safe ({note})", resolved.label));
+        } else if args.n > 1 && report.hazard.is_none() {
+            failures.push(format!(
+                "{}: expected contention hazard NOT found",
+                resolved.label
+            ));
         }
         rows.push(vec![
             resolved.label.clone(),
@@ -620,7 +659,15 @@ fn parse_bound_args(argv: &[String]) -> Result<Option<BoundArgs>, String> {
         return Err("--passages must be positive".into());
     }
     if args.algs.is_empty() || args.algs.iter().any(|a| a == "all") {
-        args.algs = AlgorithmRegistry::global().names();
+        // A forced-passage game only terminates against locks that
+        // guarantee progress; entries disclaiming deadlock-freedom
+        // (the splitter locks) are excluded from `all`, though naming
+        // one explicitly still plays it (and reports its stall).
+        args.algs = AlgorithmRegistry::global()
+            .entries()
+            .filter(|e| e.info().deadlock_free)
+            .map(|e| e.info().name.clone())
+            .collect();
     }
     Ok(Some(args))
 }
@@ -817,6 +864,15 @@ OPTIONS:
                          portfolio; the spec is the budget's spelling,
                          not a strategy override (default: fanlynch)
     --no-certify         skip the exhaustive certification pass
+    --no-symmetry        disable orbit reduction in the certification
+                         pass (partial-order reduction is never applied
+                         under crash branching)
+    --compress           fingerprint the certification pass's
+                         transposition table
+    --spill              stream certification BFS frontiers through an
+                         unlinked temp file
+    --max-states S       certification transposition-table cap
+                         (default: 2000000)
     --passages P         passages per process (default: 1)
     --seed S             adaptive tie-break seed (default: 0)
     --patience K         starvation-valve threshold for both portfolio
@@ -842,6 +898,9 @@ struct CrashArgs {
     json: Option<String>,
     quiet: bool,
     cfg: exclusion_bound::BoundConfig,
+    /// Explorer knobs for the certification pass (`passages` is taken
+    /// from `cfg` so the game and the certification agree on bounds).
+    xcfg: ExploreConfig,
 }
 
 fn parse_crash_args(argv: &[String]) -> Result<Option<CrashArgs>, String> {
@@ -853,6 +912,7 @@ fn parse_crash_args(argv: &[String]) -> Result<Option<CrashArgs>, String> {
         json: None,
         quiet: false,
         cfg: exclusion_bound::BoundConfig::default(),
+        xcfg: ExploreConfig::default(),
     };
     let mut sched = String::from("fanlynch");
     let mut crashes: Option<usize> = None;
@@ -871,6 +931,13 @@ fn parse_crash_args(argv: &[String]) -> Result<Option<CrashArgs>, String> {
             }
             "--sched" => sched = value()?,
             "--no-certify" => args.certify = false,
+            "--no-symmetry" => args.xcfg.symmetry = false,
+            "--compress" => args.xcfg.compress = true,
+            "--spill" => args.xcfg.spill = true,
+            "--max-states" => {
+                args.xcfg.max_states =
+                    value()?.parse().map_err(|e| format!("--max-states: {e}"))?;
+            }
             "--passages" => {
                 args.cfg.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?;
             }
@@ -905,6 +972,11 @@ fn parse_crash_args(argv: &[String]) -> Result<Option<CrashArgs>, String> {
         None if resolved.crashes > 0 => resolved.crashes,
         None => 1,
     };
+    // Same structured validation as the explore subcommand: an
+    // oversized --max-states is a flag error, not a mid-run assert.
+    if let Err(e) = args.xcfg.validated() {
+        return Err(e.to_string());
+    }
     if args.algs.is_empty() || args.algs.iter().any(|a| a == "all") {
         args.algs = AlgorithmRegistry::global()
             .entries()
@@ -933,14 +1005,23 @@ fn run_crash(argv: &[String]) -> Result<(), String> {
     if args.certify {
         let xcfg = ExploreConfig {
             passages: args.cfg.passages,
-            ..ExploreConfig::default()
+            ..args.xcfg
         };
         for spec in &args.algs {
             for &n in args.ns.iter().filter(|&&n| n <= 3) {
                 let resolved = registry.resolve_str(spec, n).map_err(|e| e.to_string())?;
                 let report = certify_recoverable(resolved.automaton.as_ref(), args.budget, &xcfg);
                 let planted = resolved.label == "broken-recover";
-                if planted && args.budget > 0 && report.violation.is_none() {
+                // A truncated exploration certifies (and refutes)
+                // nothing: fail loudly instead of printing a clean
+                // pass, whatever the entry.
+                if report.truncated && report.violation.is_none() {
+                    failures.push(format!(
+                        "{} n={n}: truncated at {} states, not certified under {} crashes \
+                         — raise the state cap",
+                        resolved.label, report.states, args.budget
+                    ));
+                } else if planted && args.budget > 0 && report.violation.is_none() {
                     failures.push(format!(
                         "{} n={n}: planted unsafe recovery NOT caught under {} crashes",
                         resolved.label, args.budget

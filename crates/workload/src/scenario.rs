@@ -444,6 +444,8 @@ mod tests {
                 min_n: 2,
                 uses_rmw: false,
                 recoverable: false,
+                symmetric: false,
+                deadlock_free: true,
                 cost_class: "test".into(),
                 params: vec![],
             },

@@ -107,6 +107,8 @@ fn extended_registries() -> (AlgorithmRegistry, SchedulerRegistry) {
             min_n: 1,
             uses_rmw: false,
             recoverable: false,
+            symmetric: false,
+            deadlock_free: true,
             cost_class: "Θ(n)/handoff".into(),
             params: vec![ParamInfo {
                 key: "linger",

@@ -1,9 +1,11 @@
 //! Safety conformance: the exhaustive explorer's verdict for **every**
 //! entry of the algorithm registry is pinned at the shared small-`n`
 //! fixture grid. All real algorithms — register-only and RMW — must be
-//! *certified* mutually exclusive and deadlock-free; the planted
-//! `broken` lock must be caught with a minimal counterexample that
-//! replays through the ordinary replay machinery.
+//! *certified* mutually exclusive, and certified deadlock-free unless
+//! their registry metadata disclaims it (the splitter locks, whose
+//! contention hazard must then be *found*); the planted `broken` lock
+//! must be caught with a minimal counterexample that replays through
+//! the ordinary replay machinery.
 
 use exclusion::explore::{conformance_registry, explore, ExploreConfig};
 use exclusion::shmem::testing::fixtures;
@@ -48,10 +50,22 @@ fn every_registry_entry_is_certified_or_caught_at_small_n() {
                     report.certified_safe(),
                     "{name} at n={n} must be certified mutually exclusive"
                 );
-                assert!(
-                    report.certified_deadlock_free(),
-                    "{name} at n={n} must be certified deadlock-free"
-                );
+                if entry.info().deadlock_free {
+                    assert!(
+                        report.certified_deadlock_free(),
+                        "{name} at n={n} must be certified deadlock-free"
+                    );
+                } else if n > 1 {
+                    // Entries that disclaim deadlock-freedom (the
+                    // splitter locks: every contender can lose) must
+                    // have their hazard *found* — a certified negative,
+                    // not a silent pass.
+                    assert!(
+                        report.hazard.is_some(),
+                        "{name} at n={n} disclaims deadlock-freedom; \
+                         the explorer must find the hazard"
+                    );
+                }
             }
         }
     }

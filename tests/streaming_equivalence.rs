@@ -39,6 +39,13 @@ fn dyn_streaming_costs_match_typed_replay_costs_on_the_full_grid() {
     let n = 4;
     let algs = AlgorithmRegistry::global();
     for name in algs.names() {
+        // A sampled run can strand forever inside a lock that
+        // disclaims deadlock-freedom (the splitter locks have
+        // genuinely doomed states), so the run-to-completion grid
+        // skips those entries; the explorer certifies them instead.
+        if algs.get(&name).is_none_or(|e| !e.info().deadlock_free) {
+            continue;
+        }
         let erased = algs
             .resolve_str(&name, n)
             .expect("registry entry")
