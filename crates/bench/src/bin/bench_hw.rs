@@ -1,0 +1,65 @@
+//! `bench_hw` — the formal-vs-hardware differential benchmark: runs
+//! the composable queue locks (plus contrast entries) under shared
+//! arrival schedules, both simulated and on real atomics, and writes
+//! `BENCH_hw.json`.
+//!
+//! ```text
+//! bench_hw                        # full grid (16 requests/process), BENCH_hw.json
+//! bench_hw --quick --out -       # 4 requests/process, JSON to stdout
+//! ```
+//!
+//! Exits nonzero if any scenario's simulated and hardware legs
+//! disagree on per-thread passage counts, or if a queue lock's
+//! simulated RMR per passage is not flat across sizes on the
+//! low-contention scenario — CI runs this as the O(1)-RMR regression
+//! gate. Wall-clock fields vary run to run; exclude them from
+//! byte-identity comparisons.
+
+use std::process::ExitCode;
+
+use exclusion_bench::hwbench::{all_clean, run, to_json, to_text};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_hw.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("bench_hw: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: bench_hw [--quick] [--out PATH|-]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench_hw: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let rows = run(quick);
+    eprint!("{}", to_text(&rows));
+    let json = to_json(&rows, quick);
+    if out_path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_hw: writing {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+    if all_clean(&rows) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_hw: legs disagreed or a queue lock's RMR per passage is not flat across sizes"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,199 @@
+//! The formal-vs-hardware differential benchmark behind
+//! `BENCH_hw.json`: the three composable queue locks (plus two
+//! contrast entries) under the same arrival schedules, simulated under
+//! the priced cost models and executed on real atomics.
+//!
+//! Run it with `cargo run --release -p exclusion-bench --bin bench_hw
+//! -- --out BENCH_hw.json`. CI runs it on every push and uploads the
+//! JSON as an artifact; the binary exits nonzero if any scenario's two
+//! legs disagree on per-thread passage counts, or if the simulated RMR
+//! per passage of a queue lock fails the O(1) flatness gate across
+//! [`NS`] on the low-contention scenario.
+//!
+//! The wall-clock fields (`elapsed_ns`, wait statistics) are
+//! measurements and vary run to run; every other field of a row is
+//! deterministic, and byte-identity comparisons must exclude the
+//! timing fields.
+
+use std::fmt::Write as _;
+
+use exclusion_workload::hwbench::{run_scenario, HwRow, HwScenario};
+
+/// Schema tag stamped into `BENCH_hw.json`.
+pub const BENCH_SCHEMA: &str = "exclusion-bench-hw/v1";
+
+/// The queue locks under test — the rows the flatness gate covers.
+pub const QUEUE_LOCKS: [&str; 3] = ["mcs", "clh", "ticket"];
+
+/// Contrast entries: a non-queue RMW lock and the register-only
+/// tournament the lower bound actually applies to.
+pub const CONTRAST: [&str; 2] = ["ttas-sim", "dekker-tree"];
+
+/// Arrival scenarios. The first is the low-contention schedule the
+/// O(1)-RMR flatness gate measures on: passages are disjoint in time,
+/// so per-passage cost is the lock's uncontended footprint. The second
+/// overlaps arrivals in bursts to exercise real queueing.
+pub const ARRIVALS: [&str; 2] = ["steady:gap=64", "bursty"];
+
+/// Process/thread counts the grid sweeps. The flatness gate compares
+/// the simulated RMR per passage across these sizes.
+pub const NS: [usize; 4] = [2, 3, 4, 6];
+
+/// Tolerated spread (max − min) of RMR per passage across [`NS`] on
+/// the low-contention scenario. The schedule is deterministic and
+/// uncontended, so a genuinely O(1) lock is *exactly* flat; anything
+/// per-process leaks at least one whole access per added process.
+pub const FLATNESS: f64 = 0.5;
+
+fn requests(quick: bool) -> usize {
+    if quick {
+        4
+    } else {
+        16
+    }
+}
+
+/// Runs the grid: ([`QUEUE_LOCKS`] + [`CONTRAST`]) × [`ARRIVALS`] ×
+/// [`NS`].
+///
+/// # Panics
+///
+/// Panics if a benchmark scenario fails to run — every grid entry is a
+/// standard registry name with a hardware twin.
+#[must_use]
+pub fn run(quick: bool) -> Vec<HwRow> {
+    let mut rows = Vec::new();
+    for alg in QUEUE_LOCKS.iter().chain(&CONTRAST) {
+        for arrivals in ARRIVALS {
+            for n in NS {
+                let row = run_scenario(&HwScenario {
+                    alg: (*alg).into(),
+                    arrivals: arrivals.into(),
+                    n,
+                    requests_per_process: requests(quick),
+                    seed: 1,
+                    ns_per_tick: 200,
+                })
+                .unwrap_or_else(|e| panic!("{alg} under {arrivals} n={n}: {e}"));
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// The simulated RMR-per-passage spread (max − min) of `alg` across
+/// the grid's sizes on the low-contention scenario.
+#[must_use]
+pub fn rmr_spread(rows: &[HwRow], alg: &str) -> f64 {
+    let series: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.alg == alg && r.arrivals.starts_with("steady"))
+        .map(|r| r.sim.rmr_per_passage())
+        .collect();
+    let max = series.iter().copied().fold(f64::MIN, f64::max);
+    let min = series.iter().copied().fold(f64::MAX, f64::min);
+    max - min
+}
+
+/// Whether every scenario's legs agree and every queue lock passes the
+/// O(1)-RMR flatness gate.
+#[must_use]
+pub fn all_clean(rows: &[HwRow]) -> bool {
+    rows.iter().all(|r| r.agree)
+        && QUEUE_LOCKS
+            .iter()
+            .all(|alg| rmr_spread(rows, alg) <= FLATNESS)
+}
+
+/// The benchmark report as JSON (the contents of `BENCH_hw.json`).
+#[must_use]
+pub fn to_json(rows: &[HwRow], quick: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"{BENCH_SCHEMA}\",\"quick\":{quick},\
+         \"flatness_gate\":{FLATNESS},\"rows\":[",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&row.to_json());
+    }
+    let _ = write!(out, "],\"spreads\":{{");
+    for (i, alg) in QUEUE_LOCKS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{alg}\":{:.4}", rmr_spread(rows, alg));
+    }
+    let _ = write!(out, "}},\"clean\":{}}}", all_clean(rows));
+    out
+}
+
+/// An aligned text table of the benchmark, for terminals and CI logs.
+#[must_use]
+pub fn to_text(rows: &[HwRow]) -> String {
+    let mut out = String::from(
+        "alg          arrivals               n  passages  sim steps  rmr/pass       dsm     hw ms  agree\n",
+    );
+    for r in rows {
+        #[allow(clippy::cast_precision_loss)]
+        let _ = writeln!(
+            out,
+            "{:<13}{:<22}{:>2}{:>10}{:>11}{:>10.2}{:>10}{:>10.2}  {}",
+            r.alg,
+            r.arrivals,
+            r.n,
+            r.sim.passages,
+            r.sim.steps,
+            r.sim.rmr_per_passage(),
+            r.sim.dsm,
+            r.hw.elapsed_ns as f64 / 1e6,
+            r.agree,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One steady slice of the grid in debug mode: the queue locks are
+    /// exactly flat across sizes and both legs agree; the full grid
+    /// (with the bursty scenarios and contrast rows) runs in release
+    /// CI via `bench_hw --quick`.
+    #[test]
+    fn steady_slice_is_flat_and_agrees() {
+        let mut rows = Vec::new();
+        for alg in QUEUE_LOCKS {
+            for n in [2, 4] {
+                rows.push(
+                    run_scenario(&HwScenario {
+                        alg: alg.into(),
+                        arrivals: ARRIVALS[0].into(),
+                        n,
+                        requests_per_process: 3,
+                        seed: 1,
+                        ns_per_tick: 100,
+                    })
+                    .unwrap_or_else(|e| panic!("{alg} n={n}: {e}")),
+                );
+            }
+        }
+        assert!(rows.iter().all(|r| r.agree));
+        for alg in QUEUE_LOCKS {
+            assert!(
+                rmr_spread(&rows, alg) <= FLATNESS,
+                "{alg}: spread {}",
+                rmr_spread(&rows, alg)
+            );
+        }
+        let json = to_json(&rows, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"clean\":true"), "{json}");
+        assert!(to_text(&rows).lines().count() == rows.len() + 1);
+    }
+}

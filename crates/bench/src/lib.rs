@@ -18,7 +18,11 @@
 //! exhaustive crash certification, and emits `BENCH_crash.json`; the
 //! `bench_serve` binary (module [`servebench`]) serves the same open
 //! request stream across worker counts and arrival models, gates the
-//! aggregate throughput, and emits `BENCH_serve.json`.
+//! aggregate throughput, and emits `BENCH_serve.json`; the `bench_hw`
+//! binary (module [`hwbench`]) runs the composable queue locks under
+//! shared arrival schedules both simulated and on real atomics,
+//! gates the O(1)-RMR flatness of the queue locks, and emits
+//! `BENCH_hw.json`.
 //!
 //! The paper (a theory paper) has no numbered tables or figures; the
 //! experiments here are the executable counterparts of its theorems, as
@@ -33,6 +37,7 @@ pub mod crashbench;
 pub mod dispatchbench;
 pub mod experiments;
 pub mod explorebench;
+pub mod hwbench;
 pub mod servebench;
 pub mod sweepbench;
 pub mod table;

@@ -17,7 +17,12 @@
 //! The [`rmw`] module adds locks built on read-modify-write primitives
 //! (TAS, TTAS, ticket, CLH, MCS) — outside the paper's register-only
 //! model, but priced by the same cost models for comparison; the
-//! lower-bound construction rejects them with a diagnostic.
+//! lower-bound construction rejects them with a diagnostic. The
+//! [`queue`] module re-derives the three queue locks as *composable*
+//! [`queue::Queue`]/[`queue::Signal`]/[`queue::Handoff`] modules over a
+//! shared phase machine — registered as `mcs`, `clh`, `ticket` — and
+//! is the formal side of the hardware differential harness
+//! (`exclusion_workload::hwbench`).
 //!
 //! The [`recover`] module adds *crash-recoverable* locks for the
 //! fault-injection model ([`exclusion_shmem::fault`]): [`RPeterson`]
@@ -58,6 +63,7 @@ pub mod dekker;
 pub mod dijkstra;
 pub mod filter;
 pub mod peterson;
+pub mod queue;
 pub mod recover;
 pub mod registry;
 pub mod rmw;
@@ -72,6 +78,7 @@ pub use dekker::DekkerTournament;
 pub use dijkstra::Dijkstra;
 pub use filter::Filter;
 pub use peterson::Peterson;
+pub use queue::{Clh, Mcs, QueueLock, Ticket};
 pub use recover::{BrokenRecover, RPeterson, RTas};
 pub use registry::{
     AlgorithmEntry, AlgorithmInfo, AlgorithmRegistry, DynAlgorithm, ResolvedAlgorithm,

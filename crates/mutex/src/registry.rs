@@ -54,6 +54,7 @@ use std::sync::{Arc, OnceLock};
 use exclusion_shmem::dynamic::{DynAutomaton, Packed};
 use exclusion_shmem::spec::{suggest, ParamInfo, Spec, SpecError};
 
+use crate::queue::{Clh, Mcs, Ticket};
 use crate::rmw::{ClhSim, McsSim, TasSim, TicketSim, TtasSim};
 use crate::{
     Bakery, BrokenRecover, BurnsLynch, DekkerTournament, Dijkstra, Filter, Peterson, RPeterson,
@@ -419,6 +420,31 @@ impl AlgorithmRegistry {
             true,
             McsSim::new,
         ));
+        reg.register(plain_with(
+            "mcs",
+            "composable MCS: linked tail + own-flag spin + successor handoff",
+            "O(1) RMR",
+            true,
+            false,
+            true,
+            |n| Packed(Mcs::new(n)),
+        ));
+        reg.register(plain(
+            "clh",
+            "composable CLH: swap tail + predecessor-flag spin + release cell",
+            "O(1) RMR-CC",
+            true,
+            |n| Packed(Clh::new(n)),
+        ));
+        reg.register(plain_with(
+            "ticket",
+            "composable ticket: counter draw + serving match + counter bump",
+            "Θ(n) RMR-CC",
+            true,
+            true,
+            true,
+            |n| Packed(Ticket::new(n)),
+        ));
         reg.register(recoverable(
             "rpeterson",
             "recoverable Peterson tournament (healing recovery pass)",
@@ -586,14 +612,17 @@ mod tests {
                 "ticket-sim",
                 "clh-sim",
                 "mcs-sim",
+                "mcs",
+                "clh",
+                "ticket",
                 "rpeterson",
                 "rtas",
                 "broken-recover"
             ]
         );
-        assert_eq!(reg.entries().filter(|e| e.info().uses_rmw).count(), 7);
+        assert_eq!(reg.entries().filter(|e| e.info().uses_rmw).count(), 10);
         assert_eq!(reg.entries().filter(|e| e.info().recoverable).count(), 3);
-        assert_eq!(reg.entries().filter(|e| e.info().symmetric).count(), 5);
+        assert_eq!(reg.entries().filter(|e| e.info().symmetric).count(), 6);
     }
 
     #[test]
@@ -659,7 +688,7 @@ mod tests {
         else {
             panic!("{err}")
         };
-        assert_eq!(known.len(), 16);
+        assert_eq!(known.len(), 19);
         assert_eq!(suggestion.as_deref(), Some("peterson"));
     }
 
@@ -695,7 +724,7 @@ mod tests {
         assert_eq!(reg.resolve_str("ttas-sim", 3).unwrap().label, "ttas-sim");
         let r = reg.resolve_str("ttas", 3).unwrap();
         assert_eq!(r.automaton.name(), "peterson", "spelling reassigned");
-        assert_eq!(reg.names().len(), 17, "appended, not replaced");
+        assert_eq!(reg.names().len(), 20, "appended, not replaced");
     }
 
     #[test]

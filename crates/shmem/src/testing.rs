@@ -21,6 +21,13 @@ pub mod fixtures {
     /// Process counts the exhaustive small-`n` suites certify at.
     pub const SMALL_NS: &[usize] = &[2, 3];
 
+    /// How many entries the standard algorithm registry carries. The
+    /// registry lives above this crate, so the suites that iterate it
+    /// (`tests/mutex_properties.rs`, `tests/spec_roundtrip.rs`, …) pin
+    /// the count here: a new entry must bump this constant, which is
+    /// the reminder to extend the grids that enumerate by index.
+    pub const STANDARD_ALGORITHMS: usize = 19;
+
     /// The seed grid shared by every seeded-scheduler sweep.
     pub const SEEDS: &[u64] = &[1, 7, 42];
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod paced;
 
 mod clh;
 mod dekker;

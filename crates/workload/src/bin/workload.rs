@@ -43,6 +43,9 @@ USAGE:
     workload serve [OPTIONS]      open-stream lock service: arrival
                                   models, deadlines, live percentiles
                                   (see serve --help)
+    workload hwbench [OPTIONS]    formal-vs-hardware differential: same
+                                  arrival schedule simulated and run on
+                                  real atomics (see hwbench --help)
 
 OPTIONS:
     --algs A,B,...       algorithm specs to sweep (default:
@@ -1664,6 +1667,148 @@ fn run_serve(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const HWBENCH_USAGE: &str = "\
+workload hwbench — formal-vs-hardware differential: generate one
+arrival schedule, run it through the simulated registry automaton
+(priced under SC/CC/DSM) and through the matching exclusion-spin lock
+on real atomics, and co-report simulated RMR against measured
+nanoseconds
+
+USAGE:
+    workload hwbench [OPTIONS]
+
+OPTIONS:
+    --algs A,B,...       registry specs with hardware twins
+                         (default: mcs,clh,ticket)
+    --arrivals M,N,...   arrival model specs
+                         (default: steady:gap=64,bursty)
+    --n N                processes = threads (default: 4)
+    --requests R         requests (passages) per process (default: 8)
+    --seed S             seed for seeded arrival models (default: 1)
+    --ns-per-tick NS     hardware pacing in ns per arrival tick
+                         (default: 200)
+    --json PATH          write the JSON report (`-` for stdout,
+                         the default)
+    --quiet              suppress the stderr summary
+    --help               this text
+
+Exits nonzero if any scenario's two legs disagree on per-thread
+passage counts. All row fields are deterministic per scenario except
+elapsed_ns / mean_wait_ns / max_wait_ns, which are measurements —
+exclude them from byte-identity comparisons.
+";
+
+struct HwbenchArgs {
+    algs: Vec<String>,
+    arrivals: Vec<String>,
+    n: usize,
+    requests: usize,
+    seed: u64,
+    ns_per_tick: u64,
+    json: String,
+    quiet: bool,
+}
+
+fn parse_hwbench_args(argv: &[String]) -> Result<Option<HwbenchArgs>, String> {
+    let mut args = HwbenchArgs {
+        algs: vec!["mcs".into(), "clh".into(), "ticket".into()],
+        arrivals: vec!["steady:gap=64".into(), "bursty".into()],
+        n: 4,
+        requests: 8,
+        seed: 1,
+        ns_per_tick: 200,
+        json: "-".into(),
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--algs" => args.algs = split_specs(&value()?),
+            "--arrivals" => args.arrivals = split_specs(&value()?),
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--requests" => {
+                args.requests = value()?.parse().map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--ns-per-tick" => {
+                args.ns_per_tick = value()?
+                    .parse()
+                    .map_err(|e| format!("--ns-per-tick: {e}"))?;
+            }
+            "--json" => args.json = value()?,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                print!("{HWBENCH_USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag `{other}` (try hwbench --help)")),
+        }
+    }
+    if args.n == 0 || args.requests == 0 {
+        return Err("--n and --requests must be positive".into());
+    }
+    Ok(Some(args))
+}
+
+fn run_hwbench(argv: &[String]) -> Result<(), String> {
+    use exclusion_workload::hwbench::{run_scenario, HwScenario};
+
+    let Some(args) = parse_hwbench_args(argv)? else {
+        return Ok(());
+    };
+    let mut rows = Vec::new();
+    for alg in &args.algs {
+        for arrivals in &args.arrivals {
+            let row = run_scenario(&HwScenario {
+                alg: alg.clone(),
+                arrivals: arrivals.clone(),
+                n: args.n,
+                requests_per_process: args.requests,
+                seed: args.seed,
+                ns_per_tick: args.ns_per_tick,
+            })
+            .map_err(|e| format!("{alg} under {arrivals}: {e}"))?;
+            if !args.quiet {
+                eprintln!(
+                    "{} under {} n={}: sim {} steps, rmr/passage {:.2}, dsm {} | hw {} in {:.2} ms (mean wait {} ns) | {}",
+                    row.alg,
+                    row.arrivals,
+                    row.n,
+                    row.sim.steps,
+                    row.sim.rmr_per_passage(),
+                    row.sim.dsm,
+                    row.hw.lock,
+                    row.hw.elapsed_ns as f64 / 1e6,
+                    row.hw.mean_wait_ns,
+                    if row.agree { "legs agree" } else { "LEGS DISAGREE" },
+                );
+            }
+            rows.push(row);
+        }
+    }
+    let mut json = String::from("{\"schema\":\"exclusion-hwbench/v1\",\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&row.to_json());
+    }
+    json.push_str("]}");
+    emit(&args.json, "hwbench report", &json)?;
+    let disagreements = rows.iter().filter(|r| !r.agree).count();
+    if disagreements > 0 {
+        return Err(format!(
+            "{disagreements} scenarios disagree between simulation and hardware"
+        ));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explore") {
@@ -1680,6 +1825,9 @@ fn run() -> Result<(), String> {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         return run_serve(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("hwbench") {
+        return run_hwbench(&argv[1..]);
     }
     let Some(args) = parse_args(&argv)? else {
         return Ok(());

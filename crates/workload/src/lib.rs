@@ -57,11 +57,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hwbench;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod schedreg;
 
+pub use hwbench::{HwError, HwLeg, HwRow, HwScenario, SimLeg};
 pub use report::JSON_SCHEMA;
 pub use runner::{
     run_probed, sweep, ModelSummary, RunRecord, ScenarioSummary, SweepOptions, SweepReport,

@@ -1,0 +1,101 @@
+//! Formal-vs-hardware agreement: the same registry name, resolved as a
+//! priced formal automaton and as a real-atomics spin lock, served the
+//! same arrival schedule, must tell the same story — who got in how
+//! often — while each leg reports the cost the other cannot measure
+//! (simulated SC/CC/DSM charges vs. wall-clock nanoseconds).
+//!
+//! These are the deterministic, debug-mode slices of the gates the
+//! `bench_hw` binary runs over the full release grid for
+//! `BENCH_hw.json`.
+
+use exclusion::workload::hwbench::{passage_counts, run_scenario, HwScenario};
+use exclusion_bench::hwbench::{rmr_spread, ARRIVALS, FLATNESS, QUEUE_LOCKS};
+
+fn scenario(alg: &str, arrivals: &str, n: usize) -> HwScenario {
+    HwScenario {
+        alg: alg.into(),
+        arrivals: arrivals.into(),
+        n,
+        requests_per_process: 3,
+        seed: 1,
+        ns_per_tick: 100,
+    }
+}
+
+/// Both legs of every queue-lock scenario agree on the acquisition
+/// multiset: per-thread passage counts match, and each leg's order is
+/// a permutation of the other's (same length, same counts).
+#[test]
+fn sim_and_hw_legs_agree_on_acquisition_multisets() {
+    for alg in QUEUE_LOCKS {
+        for arrivals in ARRIVALS {
+            for n in [2usize, 3] {
+                let row = run_scenario(&scenario(alg, arrivals, n))
+                    .unwrap_or_else(|e| panic!("{alg} under {arrivals} n={n}: {e}"));
+                assert!(row.agree, "{alg} under {arrivals} n={n}: legs must agree");
+                assert_eq!(
+                    row.sim.passages, row.hw.passages,
+                    "{alg} under {arrivals} n={n}"
+                );
+                assert_eq!(
+                    passage_counts(&row.sim.order, n),
+                    passage_counts(&row.hw.order, n),
+                    "{alg} under {arrivals} n={n}: per-thread passage counts"
+                );
+                assert_eq!(row.sim.order.len(), row.hw.order.len());
+            }
+        }
+    }
+}
+
+/// Every row carries both cost vocabularies: the simulated model
+/// charges (SC/CC/DSM) and the measured wall-clock fields, with the
+/// JSON noting that timing is excluded from byte-identity.
+#[test]
+fn rows_co_report_simulated_charges_and_measured_time() {
+    let row = run_scenario(&scenario("mcs", ARRIVALS[0], 2)).expect("mcs scenario runs");
+    assert!(row.sim.cc > 0, "simulated CC charges must be reported");
+    assert!(row.sim.sc > 0, "simulated SC charges must be reported");
+    assert!(row.hw.elapsed_ns > 0, "hardware leg must be timed");
+    let json = row.to_json();
+    for field in [
+        "\"sc\":",
+        "\"cc\":",
+        "\"dsm\":",
+        "\"elapsed_ns\":",
+        "\"mean_wait_ns\":",
+    ] {
+        assert!(json.contains(field), "row JSON must carry {field}: {json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+/// The O(1)-RMR gate, in miniature: across sizes on the uncontended
+/// steady schedule the queue locks' simulated RMR per passage is flat
+/// (within [`FLATNESS`]), while the register-only tournament contrast
+/// entry grows — the model boundary the benchmark exists to draw.
+#[test]
+fn queue_locks_are_rmr_flat_where_the_tournament_grows() {
+    let sizes = [2usize, 4];
+    let mut rows = Vec::new();
+    for alg in QUEUE_LOCKS.iter().chain(&["dekker-tree"]) {
+        for n in sizes {
+            rows.push(
+                run_scenario(&scenario(alg, ARRIVALS[0], n))
+                    .unwrap_or_else(|e| panic!("{alg} n={n}: {e}")),
+            );
+        }
+    }
+    for alg in QUEUE_LOCKS {
+        let spread = rmr_spread(&rows, alg);
+        assert!(
+            spread <= FLATNESS,
+            "{alg}: RMR per passage must be flat across sizes, spread {spread}"
+        );
+    }
+    let tournament = rmr_spread(&rows, "dekker-tree");
+    assert!(
+        tournament > FLATNESS,
+        "dekker-tree: per-passage RMR should grow with n, spread {tournament}"
+    );
+}

@@ -1,26 +1,67 @@
-//! Integration: safety of the algorithm library under randomized
-//! schedules (property-based) and exhaustive checking.
+//! Integration: safety of the *whole standard registry* under
+//! randomized schedules (property-based) and exhaustive checking.
+//!
+//! The suites iterate [`AlgorithmRegistry::standard`] rather than a
+//! private algorithm list, with the entry count pinned against
+//! `fixtures::STANDARD_ALGORITHMS` — registering a new lock without
+//! widening these grids is a test failure, not a silent coverage gap.
 
-use exclusion::mutex::AnyAlgorithm;
+use exclusion::mutex::AlgorithmRegistry;
 use exclusion::shmem::checker::{check_mutual_exclusion, CheckConfig};
 use exclusion::shmem::sched::{run_random, run_round_robin};
-use exclusion::shmem::Automaton;
+use exclusion::shmem::testing::fixtures;
+use exclusion::shmem::DynRef;
 use proptest::prelude::*;
+
+/// Canonical names of every standard entry, pinned to the fixture
+/// count so index-based proptest strategies cannot silently truncate.
+fn standard_names() -> Vec<String> {
+    let names: Vec<String> = AlgorithmRegistry::global()
+        .entries()
+        .map(|e| e.info().name.clone())
+        .collect();
+    assert_eq!(
+        names.len(),
+        fixtures::STANDARD_ALGORITHMS,
+        "standard registry grew; bump fixtures::STANDARD_ALGORITHMS and the strategies here"
+    );
+    names
+}
+
+/// The entries whose runs must *complete*: everything except the two
+/// splitter locks, which honestly declare `deadlock_free: false` (a
+/// fair schedule can starve a loser, so a passage target would hang).
+/// Their mutual exclusion is still certified exhaustively below.
+fn deadlock_free_names() -> Vec<String> {
+    let names: Vec<String> = AlgorithmRegistry::global()
+        .entries()
+        .filter(|e| e.info().deadlock_free)
+        .map(|e| e.info().name.clone())
+        .collect();
+    assert_eq!(names.len(), fixtures::STANDARD_ALGORITHMS - 2);
+    names
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Any suite algorithm, any size 1–6, any seed: random fair
-    /// schedules preserve mutual exclusion and well-formedness.
+    /// Any deadlock-free registry entry, any size 1–6, any seed: random
+    /// fair schedules preserve mutual exclusion and well-formedness.
     #[test]
     fn random_schedules_preserve_mutual_exclusion(
         n in 1usize..=6,
-        alg_idx in 0usize..6,
+        alg_idx in 0usize..17,
         seed in any::<u64>(),
         passages in 1usize..=3,
     ) {
-        let alg = AnyAlgorithm::suite(n).remove(alg_idx);
-        let exec = run_random(&alg, passages, 50_000_000, seed).expect("fair run terminates");
+        let names = deadlock_free_names();
+        prop_assert_eq!(names.len(), 17, "widen alg_idx to match the registry");
+        let alg = AlgorithmRegistry::global()
+            .resolve_str(&names[alg_idx], n)
+            .expect("standard entries resolve")
+            .automaton;
+        let exec = run_random(&DynRef(alg.as_ref()), passages, fixtures::MAX_STEPS, seed)
+            .expect("fair run terminates");
         prop_assert!(exec.well_formed(n));
         prop_assert!(exec.mutual_exclusion(n));
         prop_assert_eq!(exec.critical_order().len(), n * passages);
@@ -30,20 +71,30 @@ proptest! {
     #[test]
     fn round_robin_preserves_mutual_exclusion(
         n in 1usize..=6,
-        alg_idx in 0usize..6,
+        alg_idx in 0usize..17,
         passages in 1usize..=3,
     ) {
-        let alg = AnyAlgorithm::suite(n).remove(alg_idx);
-        let exec = run_round_robin(&alg, passages, 50_000_000).expect("terminates");
+        let names = deadlock_free_names();
+        prop_assert_eq!(names.len(), 17, "widen alg_idx to match the registry");
+        let alg = AlgorithmRegistry::global()
+            .resolve_str(&names[alg_idx], n)
+            .expect("standard entries resolve")
+            .automaton;
+        let exec = run_round_robin(&DynRef(alg.as_ref()), passages, fixtures::MAX_STEPS)
+            .expect("terminates");
         prop_assert!(exec.mutual_exclusion(n));
     }
 }
 
 #[test]
-fn exhaustive_model_check_suite_n2() {
-    for alg in AnyAlgorithm::suite(2) {
+fn exhaustive_model_check_registry_n2() {
+    for name in standard_names() {
+        let alg = AlgorithmRegistry::global()
+            .resolve_str(&name, 2)
+            .expect("standard entries resolve")
+            .automaton;
         let out = check_mutual_exclusion(
-            &alg,
+            &DynRef(alg.as_ref()),
             CheckConfig {
                 passages: 2,
                 max_states: 20_000_000,
@@ -51,8 +102,7 @@ fn exhaustive_model_check_suite_n2() {
         );
         assert!(
             out.verified(),
-            "{}: {} states, violation: {:?}",
-            alg.name(),
+            "{name}: {} states, violation: {:?}",
             out.states_explored,
             out.violation
         );
@@ -60,20 +110,19 @@ fn exhaustive_model_check_suite_n2() {
 }
 
 #[test]
-fn exhaustive_model_check_suite_n3_single_passage() {
-    for alg in AnyAlgorithm::suite(3) {
+fn exhaustive_model_check_registry_n3_single_passage() {
+    for name in standard_names() {
+        let alg = AlgorithmRegistry::global()
+            .resolve_str(&name, 3)
+            .expect("standard entries resolve")
+            .automaton;
         let out = check_mutual_exclusion(
-            &alg,
+            &DynRef(alg.as_ref()),
             CheckConfig {
                 passages: 1,
                 max_states: 50_000_000,
             },
         );
-        assert!(
-            out.verified(),
-            "{}: {} states",
-            alg.name(),
-            out.states_explored
-        );
+        assert!(out.verified(), "{name}: {} states", out.states_explored);
     }
 }
